@@ -1,0 +1,54 @@
+//! Ablations of the design choices DESIGN.md calls out: array packing,
+//! full/partial tile separation, SOA layouts and constant memory on GPU,
+//! asynchronous sends and exact communication.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kernels::image::ImgSize;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    let (n, tile) = (48i64, 16i64);
+    for (name, packing, separate) in [
+        ("sgemm/full", true, true),
+        ("sgemm/no-packing", false, true),
+        ("sgemm/no-separation", true, false),
+        ("sgemm/neither", false, false),
+    ] {
+        let prep = kernels::sgemm::tiramisu_ablated(n, tile, packing, separate).unwrap();
+        let mut m = prep.machine();
+        g.bench_function(name, |b| b.iter(|| m.run(&prep.program).unwrap()));
+    }
+    // GPU: constant vs global weights (conv2D).
+    let s = ImgSize::small();
+    for (name, flavor) in [
+        ("conv2D-gpu/constant-mem", kernels::image_gpu::GpuFlavor::Tiramisu),
+        ("conv2D-gpu/global-mem", kernels::image_gpu::GpuFlavor::Halide),
+    ] {
+        let module = kernels::image_gpu::gpu_variant("conv2D", s, flavor).unwrap();
+        let mut bufs = module.alloc_buffers();
+        g.bench_function(name, |b| {
+            b.iter(|| module.run(&mut bufs, &gpusim::GpuModel::default()).unwrap())
+        });
+    }
+    // GPU: cache_shared_at on/off (blur reading a 3-wide window).
+    for (name, cache) in [("blur-gpu/shared-cache", true), ("blur-gpu/no-cache", false)] {
+        let module = kernels::image_gpu::blur_shared_cache(32, cache).unwrap();
+        let mut bufs = module.alloc_buffers();
+        g.bench_function(name, |b| {
+            b.iter(|| module.run(&mut bufs, &gpusim::GpuModel::default()).unwrap())
+        });
+    }
+    // Distributed: async vs sync halo sends.
+    for (name, asynchronous) in [("dist/async-send", true), ("dist/sync-send", false)] {
+        let prep =
+            kernels::image_dist::tiramisu_dist_opts("conv2D", s, 4, asynchronous).unwrap();
+        g.bench_function(name, |b| b.iter(|| prep.run(false).unwrap()));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 5: deep learning / linear algebra wall-clock (Conv, VGG, sgemm,
+//! HPCG, Baryon; Tiramisu vs the reference implementations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let s = kernels::dnn::ConvSize::small();
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    let pairs: Vec<(String, kernels::Prepared)> = vec![
+        ("Conv/Tiramisu".into(), kernels::dnn::conv_tiramisu(s).unwrap()),
+        ("Conv/MKL".into(), kernels::dnn::conv_generic(s).unwrap()),
+        ("VGG/Tiramisu".into(), kernels::dnn::vgg(s, true, "Tiramisu").unwrap()),
+        ("VGG/reference".into(), kernels::dnn::vgg(s, false, "ref").unwrap()),
+        ("Sgemm/Tiramisu".into(), kernels::sgemm::tiramisu_best(48, 16).unwrap()),
+        ("Sgemm/MKL".into(), kernels::sgemm::vendor(48, 16)),
+        ("HPCG-spmv/Tiramisu".into(), kernels::algebra::hpcg_spmv_tiramisu(32).unwrap()),
+        ("HPCG-spmv/reference".into(), kernels::algebra::hpcg_spmv_reference(32)),
+        ("Baryon/Tiramisu".into(), kernels::algebra::baryon(32, true, "t").unwrap()),
+        ("Baryon/reference".into(), kernels::algebra::baryon(32, false, "r").unwrap()),
+    ];
+    for (name, prep) in pairs {
+        let mut machine = prep.machine();
+        g.bench_function(&name, |b| b.iter(|| machine.run(&prep.program).unwrap()));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

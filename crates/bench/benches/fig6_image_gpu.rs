@@ -1,0 +1,28 @@
+//! Figure 6 (middle block): image benchmarks on the GPU simulator,
+//! Tiramisu vs Halide vs PENCIL (simulation wall-clock; the figure's
+//! modeled cycles come from `figures -- fig6`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kernels::image::{ImgSize, IMAGE_BENCHMARKS};
+use kernels::image_gpu::{gpu_variant, GpuFlavor};
+
+fn bench(c: &mut Criterion) {
+    let s = ImgSize::small();
+    let mut g = c.benchmark_group("fig6_gpu");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    for name in IMAGE_BENCHMARKS {
+        for flavor in [GpuFlavor::Tiramisu, GpuFlavor::Halide, GpuFlavor::Pencil] {
+            let Ok(module) = gpu_variant(name, s, flavor) else { continue };
+            let mut bufs = module.alloc_buffers();
+            g.bench_function(format!("{name}/{flavor:?}"), |b| {
+                b.iter(|| module.run(&mut bufs, &gpusim::GpuModel::default()).unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 7: strong scaling of the distributed benchmarks over
+//! 2/4/8/16 simulated ranks (wall-clock of the simulation; the speedup
+//! series of the figure comes from `figures -- fig7`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kernels::image::ImgSize;
+
+fn bench(c: &mut Criterion) {
+    let s = ImgSize { h: 64, w: 48 };
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    for ranks in [2i64, 4, 8, 16] {
+        let t = kernels::image_dist::tiramisu_dist("conv2D", s, ranks).unwrap();
+        g.bench_function(format!("conv2D/{ranks}ranks"), |b| {
+            b.iter(|| t.run(false).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

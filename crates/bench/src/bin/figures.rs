@@ -1,0 +1,121 @@
+//! Regenerates the paper's tables and figures from the modeled substrates.
+//!
+//! ```text
+//! cargo run --release -p bench --bin figures -- all
+//! cargo run --release -p bench --bin figures -- fig1 table1 fig5 fig6 fig7
+//! ```
+
+use bench::{default_img, fig1_cpu, fig1_gpu, fig5, fig6, fig7, normalized, render_table, table1};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |k: &str| args.is_empty() || args.iter().any(|a| a == k || a == "all");
+
+    if want("fig1") {
+        let bars = fig1_cpu(96, 32);
+        let rows: Vec<Vec<String>> = normalized(&bars, "Intel MKL")
+            .into_iter()
+            .map(|(n, v)| vec![n, format!("{v:.2}")])
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                "Figure 1 (left): sgemm CPU — normalized execution time (MKL = 1)",
+                &["framework", "normalized time"],
+                &rows
+            )
+        );
+        let bars = fig1_gpu(64);
+        let rows: Vec<Vec<String>> = normalized(&bars, "cuBLAS")
+            .into_iter()
+            .map(|(n, v)| vec![n, format!("{v:.2}")])
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                "Figure 1 (right): sgemm GPU — normalized execution time (cuBLAS = 1)",
+                &["framework", "normalized time"],
+                &rows
+            )
+        );
+    }
+
+    if want("table1") {
+        let rows: Vec<Vec<String>> = table1()
+            .into_iter()
+            .map(|(feat, cols)| {
+                let mut r = vec![feat];
+                r.extend(cols.iter().map(|c| c.to_string()));
+                r
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                "Table I: comparison between different frameworks",
+                &["Feature", "Tiramisu", "AlphaZ", "PENCIL", "Pluto", "Halide"],
+                &rows
+            )
+        );
+    }
+
+    if want("fig5") {
+        let rows: Vec<Vec<String>> = fig5()
+            .into_iter()
+            .map(|(name, t, r)| {
+                vec![name, "1.00".to_string(), format!("{:.2}", r / t)]
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                "Figure 5: deep learning / linear algebra — normalized time (Tiramisu = 1)",
+                &["benchmark", "Tiramisu", "Reference/MKL"],
+                &rows
+            )
+        );
+    }
+
+    if want("fig6") {
+        let f = fig6(default_img(), 4);
+        let fmt_block = |title: &str, rows: &[(String, Vec<Option<f64>>)]| {
+            let header: Vec<&str> = std::iter::once("framework")
+                .chain(kernels::image::IMAGE_BENCHMARKS)
+                .collect();
+            let body: Vec<Vec<String>> = rows
+                .iter()
+                .map(|(name, cells)| {
+                    let mut r = vec![name.clone()];
+                    r.extend(cells.iter().map(|c| match c {
+                        Some(v) => format!("{v:.2}"),
+                        None => "-".to_string(),
+                    }));
+                    r
+                })
+                .collect();
+            render_table(title, &header, &body)
+        };
+        print!("{}", fmt_block("Figure 6 (a): single-node multicore (lower is better)", &f.cpu));
+        print!("{}", fmt_block("Figure 6 (b): GPU", &f.gpu));
+        print!("{}", fmt_block("Figure 6 (c): distributed (4 ranks)", &f.dist));
+    }
+
+    if want("fig7") {
+        let rows: Vec<Vec<String>> = fig7(bench::fig7_img())
+            .into_iter()
+            .map(|(name, sp)| {
+                let mut r = vec![name];
+                r.extend(sp.iter().map(|v| format!("{v:.2}")));
+                r
+            })
+            .collect();
+        print!(
+            "{}",
+            render_table(
+                "Figure 7: distributed strong scaling — speedup over 2 nodes",
+                &["benchmark", "2", "4", "8", "16"],
+                &rows
+            )
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! Backends: lowering Layer IV to the execution substrates.
+//!
+//! - [`cpu`] — multicore CPU via the `loopvm` loop-nest virtual machine
+//!   (the paper's LLVM-through-Halide backend, §V-A),
+//! - [`gpu`] — CUDA-style execution via the `gpusim` SIMT device
+//!   simulator,
+//! - [`dist`] — distributed memory via the `mpisim` message-passing
+//!   runtime (the paper's MPI backend).
+
+pub mod cpu;
+pub mod dist;
+pub mod gpu;

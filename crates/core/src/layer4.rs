@@ -1,0 +1,121 @@
+//! Layer IV: communication management (§IV-C4).
+//!
+//! The paper's novel scheduling commands for distributed targets:
+//! `send({is}, src, size, dest, {ASYNC})`, `receive({ir}, dst, size, src,
+//! {SYNC})` and barriers. Communication operations are declared against a
+//! rank-domain iterator, carry explicit buffer/offset/size expressions
+//! (this explicitness is exactly what lets Tiramisu move *fewer bytes*
+//! than distributed Halide, Fig. 6/7), and are ordered relative to
+//! computations with [`Function::comm_before`] (the paper's
+//! `s.before(r, root)`).
+
+use crate::expr::{CompId, Expr};
+use crate::function::{Function, Var};
+
+/// Identifier of a communication operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommId(pub(crate) u32);
+
+/// Send or receive.
+#[derive(Debug, Clone)]
+pub enum CommKind {
+    /// Point-to-point send.
+    Send {
+        /// Destination rank (expression over the op's iterator + params).
+        dest: Expr,
+        /// `{ASYNC}` vs `{SYNC}` (rendezvous) semantics.
+        asynchronous: bool,
+    },
+    /// Point-to-point receive.
+    Recv {
+        /// Source rank (expression over the op's iterator + params).
+        src: Expr,
+    },
+    /// Global barrier (`barrier_at`).
+    Barrier,
+}
+
+/// One communication operation.
+#[derive(Debug, Clone)]
+pub struct CommOp {
+    /// Send/recv/barrier.
+    pub kind: CommKind,
+    /// Rank-domain iterator: the op executes on every rank inside the
+    /// iterator's bounds (the paper's `send({is}, ...)` domain vector).
+    pub iter: Var,
+    /// Buffer operated on (Tiramisu buffer name, or a computation name for
+    /// auto-buffers). Ignored for barriers.
+    pub buffer: String,
+    /// Element offset into the buffer (expression over `iter` + params).
+    pub offset: Expr,
+    /// Element count (expression over `iter` + params).
+    pub count: Expr,
+    /// Execute before this computation's loop nest (`None` = before
+    /// everything, in declaration order).
+    pub before: Option<CompId>,
+}
+
+impl Function {
+    /// `send(d, src, s, q, p)` (Table II): creates a send operation over
+    /// the rank iterator `iter`, sending `count` elements of `buffer`
+    /// starting at `offset` to rank `dest`.
+    pub fn send(
+        &mut self,
+        iter: Var,
+        buffer: &str,
+        offset: Expr,
+        count: Expr,
+        dest: Expr,
+        asynchronous: bool,
+    ) -> CommId {
+        self.comm.push(CommOp {
+            kind: CommKind::Send { dest, asynchronous },
+            iter,
+            buffer: buffer.to_string(),
+            offset,
+            count,
+            before: None,
+        });
+        CommId((self.comm.len() - 1) as u32)
+    }
+
+    /// `receive(d, dst, s, q, p)` (Table II): the matching receive.
+    pub fn receive(
+        &mut self,
+        iter: Var,
+        buffer: &str,
+        offset: Expr,
+        count: Expr,
+        src: Expr,
+    ) -> CommId {
+        self.comm.push(CommOp {
+            kind: CommKind::Recv { src },
+            iter,
+            buffer: buffer.to_string(),
+            offset,
+            count,
+            before: None,
+        });
+        CommId((self.comm.len() - 1) as u32)
+    }
+
+    /// `barrier_at(p, i)` — reduced to a global barrier between program
+    /// phases in this reproduction.
+    pub fn barrier(&mut self) -> CommId {
+        self.comm.push(CommOp {
+            kind: CommKind::Barrier,
+            iter: Var::new("r", Expr::i64(0), Expr::i64(i64::MAX)),
+            buffer: String::new(),
+            offset: Expr::i64(0),
+            count: Expr::i64(0),
+            before: None,
+        });
+        CommId((self.comm.len() - 1) as u32)
+    }
+
+    /// Schedules a communication op before the loop nest of `comp`
+    /// (the paper's `s.before(bx, root)`).
+    pub fn comm_before(&mut self, op: CommId, comp: CompId) {
+        self.comm[op.0 as usize].before = Some(comp);
+    }
+}

@@ -1,0 +1,377 @@
+//! Legality checking with exact polyhedral dependence analysis.
+//!
+//! Layer I gives the program pure producer–consumer semantics: the value
+//! `P(g(c))` read by consumer instance `C(c)` must be produced before it is
+//! consumed. A schedule is legal when every such flow dependence is
+//! respected by the lexicographic order of the final time–space mapping
+//! (§II: "TIRAMISU avoids over-conservative constraints by relying on
+//! dependence analysis to check for the correctness of code
+//! transformations" — this is what lets it fuse loops Halide must refuse,
+//! and schedule programs with cyclic buffer dataflow like `edgeDetector`).
+
+use crate::expr::CompId;
+use crate::function::{CompKind, Error, Function, Result};
+use crate::lowering::full_schedule;
+use crate::schedule::access_map;
+use polyhedral::{deps, BasicMap, Map};
+
+/// One violated (or checked) dependence.
+#[derive(Debug, Clone)]
+pub struct FlowDep {
+    /// Producing computation.
+    pub producer: CompId,
+    /// Consuming computation.
+    pub consumer: CompId,
+    /// `{ producer iterations → consumer iterations }`.
+    pub relation: Map,
+}
+
+/// Computes all Layer I flow dependences of the function: for every access
+/// `P(g(c))` in a consumer `C`, the relation `{ p → c : p = g(c) }`
+/// restricted to both domains. Non-affine accesses over-approximate
+/// (producer dimension unconstrained within its domain), exactly as §V-B
+/// prescribes.
+///
+/// # Errors
+///
+/// Propagates polyhedral space errors.
+pub fn flow_deps(f: &Function) -> Result<Vec<FlowDep>> {
+    let mut out = Vec::new();
+    for (ci, consumer) in f.comps.iter().enumerate() {
+        if consumer.kind != CompKind::Computation || consumer.inlined {
+            continue;
+        }
+        let Some(expr) = &consumer.expr else { continue };
+        for (pid, idx) in expr.accesses() {
+            let producer = f.comp(pid);
+            if producer.kind != CompKind::Computation || producer.inlined {
+                continue; // inputs impose no ordering
+            }
+            let read = access_map(consumer, idx, producer.domain.space(), &f.params)?;
+            // consumer-domain -> producer-domain; restrict and reverse.
+            let restricted = read
+                .intersect_domain(&consumer.domain)?
+                .intersect_range(&producer.domain)?;
+            let rel = restricted.reverse();
+            if rel.is_empty() {
+                continue;
+            }
+            out.push(FlowDep {
+                producer: pid,
+                consumer: CompId(ci as u32),
+                relation: Map::from_basic(rel),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Checks that the current schedules respect every flow dependence.
+/// Returns the violated dependences (empty = legal).
+///
+/// ```
+/// use tiramisu::{Function, Expr as E, At};
+/// let mut f = Function::new("t", &["N"]);
+/// let i = f.var("i", 0, E::param("N"));
+/// let a = f.computation("A", &[i.clone()], E::f32(1.0)).unwrap();
+/// let b = f.computation("B", &[i], f.access(a, &[E::iter("i")])).unwrap();
+/// assert!(tiramisu::legality::check(&f).unwrap().is_empty());
+/// f.after(a, b, At::Root).unwrap(); // producer after consumer
+/// assert!(!tiramisu::legality::check(&f).unwrap().is_empty());
+/// ```
+///
+/// # Errors
+///
+/// Propagates polyhedral space errors.
+pub fn check(f: &Function) -> Result<Vec<FlowDep>> {
+    let depth = f
+        .comps
+        .iter()
+        .filter(|c| c.kind == CompKind::Computation && !c.inlined)
+        .map(|c| c.dyn_names.len())
+        .max()
+        .unwrap_or(1);
+    let deps_list = flow_deps(f)?;
+    let mut violated = Vec::new();
+    let mut sched_cache: std::collections::HashMap<u32, BasicMap> = Default::default();
+    for d in deps_list {
+        // `compute_at` makes the producer's schedule a genuine relation
+        // (each instance may execute several times — overlapped tiling).
+        // The pairwise check below would conservatively reject those even
+        // though compute_at places the needed region before its consumer
+        // by construction, so they are skipped.
+        if f.comp(d.producer).redundant || f.comp(d.consumer).redundant {
+            continue;
+        }
+        let sp = sched_of(f, d.producer, depth, &mut sched_cache)?;
+        let sc = sched_of(f, d.consumer, depth, &mut sched_cache)?;
+        // Self-dependences where producer instance == consumer instance
+        // (e.g. a computation reading itself at the same point) are
+        // excluded by construction: identical schedules at equal points
+        // compare equal and would always "violate"; reading your own value
+        // at the same iteration is not a real dependence.
+        let dep = deps::Dependence {
+            kind: deps::DependenceKind::Flow,
+            src: f.comp(d.producer).name.clone(),
+            dst: f.comp(d.consumer).name.clone(),
+            buffer: String::new(),
+            relation: if d.producer == d.consumer {
+                remove_identity(&d.relation)?
+            } else {
+                d.relation.clone()
+            },
+        };
+        if dep.relation.is_empty() {
+            continue;
+        }
+        if !deps::is_respected(&dep, &sp, &sc).map_err(Error::from)? {
+            violated.push(d);
+        }
+    }
+    Ok(violated)
+}
+
+/// Convenience: returns an error when any dependence is violated.
+///
+/// # Errors
+///
+/// [`Error::Illegal`] naming the first violated dependence.
+pub fn assert_legal(f: &Function) -> Result<()> {
+    let v = check(f)?;
+    if let Some(d) = v.first() {
+        return Err(Error::Illegal(format!(
+            "schedule violates the flow dependence {} -> {}",
+            f.comp(d.producer).name,
+            f.comp(d.consumer).name
+        )));
+    }
+    Ok(())
+}
+
+/// Checks whether loop level `level_name` of `comp` can be run in
+/// parallel: no flow dependence may be *carried* by that loop (source and
+/// sink in different iterations of it while sharing all outer loops).
+/// This is the check behind `parallelize()` and the auto-scheduler's
+/// outermost-parallelism detection.
+///
+/// # Errors
+///
+/// [`Error::UnknownLevel`] and polyhedral space errors.
+pub fn parallel_ok(f: &Function, comp: CompId, level_name: &str) -> Result<bool> {
+    let c = f.comp(comp);
+    let level = c
+        .level_of(level_name)
+        .ok_or_else(|| Error::UnknownLevel(level_name.to_string()))?;
+    let pos = 2 * level + 1; // dynamic time position
+    let depth = f
+        .comps
+        .iter()
+        .filter(|c| c.kind == CompKind::Computation && !c.inlined)
+        .map(|c| c.dyn_names.len())
+        .max()
+        .unwrap_or(1);
+    let deps_list = flow_deps(f)?;
+    let mut cache: std::collections::HashMap<u32, BasicMap> = Default::default();
+    for d in deps_list {
+        if f.comp(d.producer).redundant || f.comp(d.consumer).redundant {
+            continue;
+        }
+        let sp = sched_of(f, d.producer, depth, &mut cache)?;
+        let sc = sched_of(f, d.consumer, depth, &mut cache)?;
+        let rel = if d.producer == d.consumer {
+            remove_identity(&d.relation)?
+        } else {
+            d.relation.clone()
+        };
+        for bm in rel.basics() {
+            if carried_at(bm, &sp, &sc, pos)? {
+                return Ok(false);
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// True when some pair of the dependence has equal time prefix before
+/// `pos` but different values at `pos` (the dependence is carried by that
+/// loop).
+fn carried_at(
+    bm: &polyhedral::BasicMap,
+    sp: &BasicMap,
+    sc: &BasicMap,
+    pos: usize,
+) -> Result<bool> {
+    use polyhedral::{Aff, Constraint};
+    let m = sp.space().n_out();
+    let n_a = bm.space().n_in();
+    let n_b = bm.space().n_out();
+    let n_p = bm.space().in_space().params().len();
+    let total = n_a + n_b + 2 * m + n_p + 1;
+    let ts = |t: usize| n_a + n_b + t;
+    let td = |t: usize| n_a + n_b + m + t;
+    let mut base: Vec<Constraint> = Vec::new();
+    for c in bm.constraints() {
+        base.push(Constraint { aff: c.aff.insert_cols(n_a + n_b, 2 * m), kind: c.kind });
+    }
+    for c in sp.constraints() {
+        base.push(Constraint {
+            aff: c.aff.insert_cols(n_a + m, m).insert_cols(n_a, n_b),
+            kind: c.kind,
+        });
+    }
+    for c in sc.constraints() {
+        base.push(Constraint {
+            aff: c.aff.insert_cols(n_b, m).insert_cols(0, n_a),
+            kind: c.kind,
+        });
+    }
+    for t in 0..pos {
+        base.push(Constraint::eq(
+            Aff::var(total, td(t)).sub(&Aff::var(total, ts(t))),
+        ));
+    }
+    let space = polyhedral::Space::from_names(
+        "carried".to_string(),
+        (0..n_a + n_b + 2 * m).map(|i| format!("x{i}")).collect(),
+        bm.space().in_space().params().to_vec(),
+    );
+    // Different at pos: strictly less or strictly greater.
+    for sign in [1i64, -1] {
+        let mut cons = base.clone();
+        cons.push(Constraint::ineq(
+            Aff::var(total, td(pos))
+                .sub(&Aff::var(total, ts(pos)))
+                .scale(sign)
+                .add(&Aff::constant(total, -1)),
+        ));
+        if !polyhedral::BasicSet::from_constraints(space.clone(), cons).is_empty() {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+fn sched_of(
+    f: &Function,
+    id: CompId,
+    depth: usize,
+    cache: &mut std::collections::HashMap<u32, BasicMap>,
+) -> Result<BasicMap> {
+    if let Some(s) = cache.get(&id.0) {
+        return Ok(s.clone());
+    }
+    let s = full_schedule(f, id, depth)?;
+    cache.insert(id.0, s.clone());
+    Ok(s)
+}
+
+/// Removes the identity pairs `i → i` from a self-dependence relation.
+fn remove_identity(rel: &Map) -> Result<Map> {
+    let space = rel.space().clone();
+    let id = BasicMap::identity(space.in_space());
+    let id_map = Map::from_basic(id);
+    rel.subtract(&id_map).map_err(Error::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::schedule::At;
+
+    /// bx produces, by consumes bx(i) and bx(i+1).
+    fn producer_consumer() -> (Function, CompId, CompId) {
+        let mut f = Function::new("t", &["N"]);
+        let i = f.var("i", 0, Expr::param("N"));
+        let bx = f
+            .computation("bx", &[i.clone()], Expr::f32(1.0))
+            .unwrap();
+        let i2 = f.var("i", 0, Expr::param("N") - Expr::i64(1));
+        let read = f.access(bx, &[Expr::iter("i")])
+            + f.access(bx, &[Expr::iter("i") + Expr::i64(1)]);
+        let by = f.computation("by", &[i2], read).unwrap();
+        (f, bx, by)
+    }
+
+    #[test]
+    fn default_order_is_legal() {
+        let (f, _, _) = producer_consumer();
+        assert!(check(&f).unwrap().is_empty());
+        assert!(assert_legal(&f).is_ok());
+    }
+
+    #[test]
+    fn reversing_order_is_illegal() {
+        let (mut f, bx, by) = producer_consumer();
+        // Schedule bx after by: violates the flow dependence.
+        f.after(bx, by, At::Root).unwrap();
+        let v = check(&f).unwrap();
+        assert!(!v.is_empty()); // one violation per read access
+        assert!(matches!(assert_legal(&f), Err(Error::Illegal(_))));
+    }
+
+    #[test]
+    fn fusion_with_shift_is_legal_but_plain_fusion_is_not() {
+        // by(i) reads bx(i + 1): fusing at level i with identical schedules
+        // makes iteration i of by read bx(i+1), produced later — illegal.
+        // Shifting by by one iteration legalizes it (classic).
+        let mut f = Function::new("t", &["N"]);
+        let i = f.var("i", 0, Expr::param("N"));
+        let bx = f.computation("bx", &[i.clone()], Expr::f32(1.0)).unwrap();
+        let i2 = f.var("i", 0, Expr::param("N") - Expr::i64(1));
+        let read = f.access(bx, &[Expr::iter("i") + Expr::i64(1)]);
+        let by = f.computation("by", &[i2], read).unwrap();
+        f.fuse_after(by, bx, "i").unwrap();
+        assert_eq!(check(&f).unwrap().len(), 1, "plain fusion must be illegal");
+        // Shift by's loop by +1 (it then reads bx(i' ) with i' <= current).
+        f.shift(by, "i", 1).unwrap();
+        assert!(check(&f).unwrap().is_empty(), "shifted fusion must be legal");
+    }
+
+    #[test]
+    fn reduction_self_dependence_blocks_reordering() {
+        // acc(k) = acc(k-1) + 1: reversing the k loop is illegal.
+        let mut f = Function::new("t", &["N"]);
+        let k = f.var("k", 1, Expr::param("N"));
+        let hold = f.var("k", 0, Expr::param("N"));
+        let _ = hold;
+        let acc = {
+            let f2 = &mut f;
+            let read = Expr::Access(CompId(0), vec![Expr::iter("k") - Expr::i64(1)]);
+            f2.computation("acc", &[k], read + Expr::f32(1.0)).unwrap()
+        };
+        assert!(check(&f).unwrap().is_empty());
+        // Reverse the loop: k -> -k via set_schedule.
+        f.set_schedule(acc, &["t"], &["t = 0 - k"]).unwrap();
+        assert_eq!(check(&f).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn cyclic_dataflow_is_analyzable() {
+        // The paper's edgeDetector argument: R reads Img, Img2 reads R —
+        // a cycle over *buffers* is fine at Layer I because instances are
+        // distinct; dependence analysis proves the default order legal.
+        let mut f = Function::new("edge", &["N"]);
+        let i = f.var("i", 1, Expr::param("N") - Expr::i64(1));
+        let img = f.input("img", &[f.var("i", 0, Expr::param("N"))]).unwrap();
+        let r = f
+            .computation(
+                "R",
+                &[i.clone()],
+                f.access(img, &[Expr::iter("i") - Expr::i64(1)])
+                    + f.access(img, &[Expr::iter("i") + Expr::i64(1)]),
+            )
+            .unwrap();
+        let i2 = f.var("i", 1, Expr::param("N") - Expr::i64(2));
+        let _img2 = f
+            .computation(
+                "Img2",
+                &[i2],
+                Expr::abs(
+                    f.access(r, &[Expr::iter("i")]) - f.access(r, &[Expr::iter("i") + Expr::i64(1)]),
+                ),
+            )
+            .unwrap();
+        assert!(check(&f).unwrap().is_empty());
+    }
+}

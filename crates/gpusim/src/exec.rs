@@ -1,0 +1,702 @@
+//! The SIMT executor: lockstep warp execution with masks, a memory model
+//! and a per-SM scheduler.
+
+use crate::{GpuModel, Kernel, MemSpace};
+use loopvm::{compile, Code, Error, LoopKind, Op, Result, Stmt};
+use loopvm::vm::{apply_f, apply_i, apply_un_f, apply_un_i, cmp_f, cmp_i};
+
+/// Warp width (lanes executing in lockstep).
+pub const WARP: usize = 32;
+
+/// Statistics of one kernel launch.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LaunchStats {
+    /// Modeled device cycles (max over SMs of their block queues).
+    pub cycles: f64,
+    /// Warp-level instructions issued.
+    pub warp_instructions: u64,
+    /// 128-byte global memory segment transactions.
+    pub global_transactions: u64,
+    /// Shared-memory accesses (bank-conflict degree accumulated).
+    pub shared_accesses: u64,
+    /// Excess cycles lost to shared-memory bank conflicts.
+    pub bank_conflict_degree: u64,
+    /// Constant-memory broadcasts.
+    pub constant_broadcasts: u64,
+    /// Branches (or loops) that diverged within a warp.
+    pub divergent_branches: u64,
+    /// Warps executed.
+    pub warps: u64,
+}
+
+impl LaunchStats {
+    fn add(&mut self, o: &LaunchStats) {
+        self.warp_instructions += o.warp_instructions;
+        self.global_transactions += o.global_transactions;
+        self.shared_accesses += o.shared_accesses;
+        self.bank_conflict_degree += o.bank_conflict_degree;
+        self.constant_broadcasts += o.constant_broadcasts;
+        self.divergent_branches += o.divergent_branches;
+        self.warps += o.warps;
+    }
+}
+
+/// Allocates zeroed storage for every buffer of a kernel's program.
+pub fn alloc_buffers(kernel: &Kernel) -> Vec<Vec<f32>> {
+    (0..kernel.program.n_buffers())
+        .map(|b| {
+            let (_, size) = kernel.program.buffer_info(kernel.program.nth_buffer(b));
+            vec![0.0f32; size]
+        })
+        .collect()
+}
+
+/// Modeled cost of a host↔device copy of `bytes` bytes.
+pub fn copy_cost(model: &GpuModel, bytes: usize) -> f64 {
+    model.copy_latency + model.copy_per_byte * bytes as f64
+}
+
+#[derive(Debug, Clone)]
+enum GStmt {
+    For { var: u32, lower: Code, upper: Code, body: Vec<GStmt> },
+    If { cond: Code, then: Vec<GStmt>, else_: Vec<GStmt> },
+    Store { buf: u32, index: Code, value: Code },
+    Let { var: u32, value: Code },
+}
+
+fn compile_stmt(s: &Stmt) -> Result<GStmt> {
+    Ok(match s {
+        Stmt::For { var, lower, upper, kind, body } => {
+            // Loop kinds are irrelevant inside a kernel (each thread runs
+            // the body); they are accepted and executed serially per warp.
+            let _ = matches!(kind, LoopKind::Serial);
+            GStmt::For {
+                var: var.index() as u32,
+                lower: compile(lower)?,
+                upper: compile(upper)?,
+                body: body.iter().map(compile_stmt).collect::<Result<_>>()?,
+            }
+        }
+        Stmt::If { cond, then, else_ } => GStmt::If {
+            cond: compile(cond)?,
+            then: then.iter().map(compile_stmt).collect::<Result<_>>()?,
+            else_: else_.iter().map(compile_stmt).collect::<Result<_>>()?,
+        },
+        Stmt::Store { buf, index, value } => GStmt::Store {
+            buf: buf.index() as u32,
+            index: compile(index)?,
+            value: compile(value)?,
+        },
+        Stmt::Let { var, value } => {
+            GStmt::Let { var: var.index() as u32, value: compile(value)? }
+        }
+    })
+}
+
+struct WarpCtx<'a> {
+    model: &'a GpuModel,
+    spaces: &'a [MemSpace],
+    buffers: &'a mut [Vec<f32>],
+    buffer_names: Vec<String>,
+    vars: Vec<[i64; WARP]>,
+    vistack: Vec<[i64; WARP]>,
+    vfstack: Vec<[f32; WARP]>,
+    stats: LaunchStats,
+    cycles: f64,
+}
+
+/// Launches a kernel on the modeled device. `buffers` must match the
+/// kernel program's buffer declarations (see [`alloc_buffers`]); global
+/// and constant buffers persist across blocks, shared buffers are cleared
+/// at each block start.
+///
+/// # Errors
+///
+/// Type errors at bytecode compilation and out-of-bounds accesses.
+pub fn launch(
+    kernel: &Kernel,
+    buffers: &mut [Vec<f32>],
+    model: &GpuModel,
+) -> Result<LaunchStats> {
+    assert_eq!(buffers.len(), kernel.program.n_buffers(), "buffer count mismatch");
+    let body: Vec<GStmt> =
+        kernel.program.body.iter().map(compile_stmt).collect::<Result<_>>()?;
+    let buffer_names: Vec<String> = (0..kernel.program.n_buffers())
+        .map(|b| kernel.program.buffer_info(kernel.program.nth_buffer(b)).0.to_string())
+        .collect();
+
+    let threads = kernel.threads_per_block();
+    let mut sm_cycles = vec![0.0f64; model.sms.max(1)];
+    let mut total = LaunchStats::default();
+
+    // Split the body into phases at the block-level barriers.
+    let mut phases: Vec<&[GStmt]> = Vec::new();
+    {
+        let mut start = 0usize;
+        let mut cuts: Vec<usize> = kernel.barriers.clone();
+        cuts.sort_unstable();
+        cuts.dedup();
+        for cut in cuts {
+            let end = (cut + 1).min(body.len());
+            if end > start {
+                phases.push(&body[start..end]);
+            }
+            start = end;
+        }
+        if start < body.len() {
+            phases.push(&body[start..]);
+        }
+        if phases.is_empty() {
+            phases.push(&body[..]);
+        }
+    }
+
+    let n_warps = threads.div_ceil(WARP);
+    for block_id in 0..kernel.n_blocks() {
+        let bx = block_id as i64 % kernel.grid[0];
+        let by = block_id as i64 / kernel.grid[0];
+        // Shared memory is per-block: clear it.
+        for (b, space) in kernel.spaces.iter().enumerate() {
+            if *space == MemSpace::Shared || *space == MemSpace::Local {
+                buffers[b].iter_mut().for_each(|v| *v = 0.0);
+            }
+        }
+        let mut block_cycles = 0.0f64;
+        // Per-warp variable frames persist across phases (registers).
+        let mut warp_vars: Vec<Vec<[i64; WARP]>> =
+            vec![vec![[0i64; WARP]; kernel.program.n_vars()]; n_warps];
+        let mut warp_masks: Vec<[bool; WARP]> = vec![[false; WARP]; n_warps];
+        for (w, (vars, mask)) in warp_vars.iter_mut().zip(&mut warp_masks).enumerate() {
+            let warp_start = w * WARP;
+            let lanes = (threads - warp_start).min(WARP);
+            for l in 0..lanes {
+                mask[l] = true;
+                let tid = warp_start + l;
+                let tx = tid as i64 % kernel.block[0];
+                let ty = tid as i64 / kernel.block[0];
+                if let Some(v) = kernel.block_vars[0] {
+                    vars[v.index()][l] = bx;
+                }
+                if let Some(v) = kernel.block_vars[1] {
+                    vars[v.index()][l] = by;
+                }
+                if let Some(v) = kernel.thread_vars[0] {
+                    vars[v.index()][l] = tx;
+                }
+                if let Some(v) = kernel.thread_vars[1] {
+                    vars[v.index()][l] = ty;
+                }
+            }
+        }
+        // Barrier semantics: every warp finishes phase k before any warp
+        // starts phase k+1.
+        for phase in &phases {
+            for w in 0..n_warps {
+                let mut ctx = WarpCtx {
+                    model,
+                    spaces: &kernel.spaces,
+                    buffers,
+                    buffer_names: buffer_names.clone(),
+                    vars: std::mem::take(&mut warp_vars[w]),
+                    vistack: Vec::with_capacity(16),
+                    vfstack: Vec::with_capacity(16),
+                    stats: LaunchStats::default(),
+                    cycles: 0.0,
+                };
+                exec_block(phase, &mut ctx, warp_masks[w])?;
+                block_cycles += ctx.cycles;
+                total.add(&ctx.stats);
+                warp_vars[w] = ctx.vars;
+            }
+        }
+        total.warps += n_warps as u64;
+        // Round-robin block scheduling over SMs.
+        let sm = block_id % sm_cycles.len();
+        sm_cycles[sm] += block_cycles;
+    }
+    total.cycles = sm_cycles.iter().cloned().fold(0.0, f64::max);
+    Ok(total)
+}
+
+fn exec_block(body: &[GStmt], ctx: &mut WarpCtx<'_>, mask: [bool; WARP]) -> Result<()> {
+    for s in body {
+        exec_stmt(s, ctx, mask)?;
+    }
+    Ok(())
+}
+
+fn exec_stmt(s: &GStmt, ctx: &mut WarpCtx<'_>, mask: [bool; WARP]) -> Result<()> {
+    if !mask.iter().any(|&m| m) {
+        return Ok(());
+    }
+    match s {
+        GStmt::Let { var, value } => {
+            let v = eval_i(value, ctx, mask)?;
+            for l in 0..WARP {
+                if mask[l] {
+                    ctx.vars[*var as usize][l] = v[l];
+                }
+            }
+            Ok(())
+        }
+        GStmt::Store { buf, index, value } => {
+            let idx = eval_i(index, ctx, mask)?;
+            let val = eval_f(value, ctx, mask)?;
+            ctx.mem_access(*buf, &idx, mask)?;
+            let b = &mut ctx.buffers[*buf as usize];
+            for l in 0..WARP {
+                if mask[l] {
+                    let i = idx[l];
+                    if i < 0 || i as usize >= b.len() {
+                        return Err(Error::OutOfBounds {
+                            buffer: ctx.buffer_names[*buf as usize].clone(),
+                            index: i,
+                            size: b.len(),
+                        });
+                    }
+                    b[i as usize] = val[l];
+                }
+            }
+            Ok(())
+        }
+        GStmt::If { cond, then, else_ } => {
+            let c = eval_i(cond, ctx, mask)?;
+            let mut then_mask = [false; WARP];
+            let mut else_mask = [false; WARP];
+            for l in 0..WARP {
+                if mask[l] {
+                    if c[l] != 0 {
+                        then_mask[l] = true;
+                    } else {
+                        else_mask[l] = true;
+                    }
+                }
+            }
+            let any_then = then_mask.iter().any(|&m| m);
+            let any_else = else_mask.iter().any(|&m| m);
+            if any_then && any_else {
+                ctx.stats.divergent_branches += 1;
+            }
+            if any_then {
+                exec_block(then, ctx, then_mask)?;
+            }
+            if any_else {
+                exec_block(else_, ctx, else_mask)?;
+            }
+            Ok(())
+        }
+        GStmt::For { var, lower, upper, body } => {
+            let lo = eval_i(lower, ctx, mask)?;
+            let hi = eval_i(upper, ctx, mask)?;
+            let mut glo = i64::MAX;
+            let mut ghi = i64::MIN;
+            let mut uniform = true;
+            let mut first: Option<(i64, i64)> = None;
+            for l in 0..WARP {
+                if mask[l] {
+                    glo = glo.min(lo[l]);
+                    ghi = ghi.max(hi[l]);
+                    match first {
+                        None => first = Some((lo[l], hi[l])),
+                        Some(f) => uniform &= f == (lo[l], hi[l]),
+                    }
+                }
+            }
+            if !uniform {
+                ctx.stats.divergent_branches += 1;
+            }
+            let mut v = glo;
+            while v < ghi {
+                let mut iter_mask = [false; WARP];
+                for l in 0..WARP {
+                    iter_mask[l] = mask[l] && lo[l] <= v && v < hi[l];
+                    if iter_mask[l] {
+                        ctx.vars[*var as usize][l] = v;
+                    }
+                }
+                exec_block(body, ctx, iter_mask)?;
+                v += 1;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn eval_i(code: &Code, ctx: &mut WarpCtx<'_>, mask: [bool; WARP]) -> Result<[i64; WARP]> {
+    eval(code, ctx, mask)?;
+    Ok(ctx.vistack.pop().unwrap())
+}
+
+fn eval_f(code: &Code, ctx: &mut WarpCtx<'_>, mask: [bool; WARP]) -> Result<[f32; WARP]> {
+    eval(code, ctx, mask)?;
+    Ok(ctx.vfstack.pop().unwrap())
+}
+
+fn eval(code: &Code, ctx: &mut WarpCtx<'_>, mask: [bool; WARP]) -> Result<()> {
+    ctx.vistack.clear();
+    ctx.vfstack.clear();
+    for op in &code.ops {
+        ctx.stats.warp_instructions += 1;
+        ctx.cycles += ctx.model.alu;
+        match *op {
+            Op::PushF(v) => ctx.vfstack.push([v; WARP]),
+            Op::PushI(v) => ctx.vistack.push([v; WARP]),
+            Op::LoadVar(v) => ctx.vistack.push(ctx.vars[v as usize]),
+            Op::Load(b) => {
+                let idx = ctx.vistack.pop().unwrap();
+                ctx.mem_access(b, &idx, mask)?;
+                let buf = &ctx.buffers[b as usize];
+                let mut out = [0f32; WARP];
+                for l in 0..WARP {
+                    if mask[l] {
+                        let i = idx[l];
+                        if i < 0 || i as usize >= buf.len() {
+                            return Err(Error::OutOfBounds {
+                                buffer: ctx.buffer_names[b as usize].clone(),
+                                index: i,
+                                size: buf.len(),
+                            });
+                        }
+                        out[l] = buf[i as usize];
+                    }
+                }
+                ctx.vfstack.push(out);
+            }
+            Op::BinF(op) => {
+                let b = ctx.vfstack.pop().unwrap();
+                let a = ctx.vfstack.last_mut().unwrap();
+                for l in 0..WARP {
+                    a[l] = apply_f(op, a[l], b[l]);
+                }
+            }
+            Op::BinI(op) => {
+                let b = ctx.vistack.pop().unwrap();
+                let a = ctx.vistack.last_mut().unwrap();
+                for l in 0..WARP {
+                    if mask[l] {
+                        a[l] = apply_i(op, a[l], b[l]);
+                    }
+                }
+            }
+            Op::CmpF(op) => {
+                let b = ctx.vfstack.pop().unwrap();
+                let a = ctx.vfstack.pop().unwrap();
+                let mut out = [0i64; WARP];
+                for l in 0..WARP {
+                    out[l] = cmp_f(op, a[l], b[l]);
+                }
+                ctx.vistack.push(out);
+            }
+            Op::CmpI(op) => {
+                let b = ctx.vistack.pop().unwrap();
+                let a = ctx.vistack.pop().unwrap();
+                let mut out = [0i64; WARP];
+                for l in 0..WARP {
+                    out[l] = cmp_i(op, a[l], b[l]);
+                }
+                ctx.vistack.push(out);
+            }
+            Op::UnF(op) => {
+                let a = ctx.vfstack.last_mut().unwrap();
+                for l in 0..WARP {
+                    a[l] = apply_un_f(op, a[l]);
+                }
+            }
+            Op::UnI(op) => {
+                let a = ctx.vistack.last_mut().unwrap();
+                for l in 0..WARP {
+                    a[l] = apply_un_i(op, a[l]);
+                }
+            }
+            Op::SelF => {
+                let b = ctx.vfstack.pop().unwrap();
+                let a = ctx.vfstack.pop().unwrap();
+                let c = ctx.vistack.pop().unwrap();
+                let mut out = [0f32; WARP];
+                for l in 0..WARP {
+                    out[l] = if c[l] != 0 { a[l] } else { b[l] };
+                }
+                ctx.vfstack.push(out);
+            }
+            Op::SelI => {
+                let b = ctx.vistack.pop().unwrap();
+                let a = ctx.vistack.pop().unwrap();
+                let c = ctx.vistack.pop().unwrap();
+                let mut out = [0i64; WARP];
+                for l in 0..WARP {
+                    out[l] = if c[l] != 0 { a[l] } else { b[l] };
+                }
+                ctx.vistack.push(out);
+            }
+            Op::CastIF => {
+                let a = ctx.vistack.pop().unwrap();
+                let mut out = [0f32; WARP];
+                for l in 0..WARP {
+                    out[l] = a[l] as f32;
+                }
+                ctx.vfstack.push(out);
+            }
+            Op::CastFI => {
+                let a = ctx.vfstack.pop().unwrap();
+                let mut out = [0i64; WARP];
+                for l in 0..WARP {
+                    out[l] = a[l] as i64;
+                }
+                ctx.vistack.push(out);
+            }
+        }
+    }
+    Ok(())
+}
+
+impl WarpCtx<'_> {
+    /// Prices one warp memory access to buffer `b` at per-lane element
+    /// indices `idx` (4-byte elements).
+    fn mem_access(&mut self, b: u32, idx: &[i64; WARP], mask: [bool; WARP]) -> Result<()> {
+        let space = self.spaces.get(b as usize).copied().unwrap_or_default();
+        match space {
+            MemSpace::Global => {
+                // Coalescing: distinct 128-byte segments among active lanes.
+                let mut segs: Vec<i64> = Vec::with_capacity(4);
+                for l in 0..WARP {
+                    if mask[l] {
+                        let seg = (idx[l] * 4).div_euclid(128);
+                        if !segs.contains(&seg) {
+                            segs.push(seg);
+                        }
+                    }
+                }
+                self.stats.global_transactions += segs.len() as u64;
+                self.cycles += segs.len() as f64 * self.model.global_segment;
+            }
+            MemSpace::Shared => {
+                // Bank conflicts: 32 banks of 4 bytes; conflict degree =
+                // max distinct-address count per bank.
+                let mut per_bank = [0u32; 32];
+                let mut seen: Vec<i64> = Vec::with_capacity(8);
+                for l in 0..WARP {
+                    if mask[l] && !seen.contains(&idx[l]) {
+                        seen.push(idx[l]);
+                        per_bank[(idx[l].rem_euclid(32)) as usize] += 1;
+                    }
+                }
+                let degree = per_bank.iter().copied().max().unwrap_or(1).max(1);
+                self.stats.shared_accesses += 1;
+                self.stats.bank_conflict_degree += (degree - 1) as u64;
+                self.cycles += degree as f64 * self.model.shared_access;
+            }
+            MemSpace::Constant => {
+                let mut distinct: Vec<i64> = Vec::with_capacity(4);
+                for l in 0..WARP {
+                    if mask[l] && !distinct.contains(&idx[l]) {
+                        distinct.push(idx[l]);
+                    }
+                }
+                if distinct.len() <= 1 {
+                    self.stats.constant_broadcasts += 1;
+                    self.cycles += self.model.constant_broadcast;
+                } else {
+                    self.cycles += distinct.len() as f64 * self.model.constant_serial;
+                }
+            }
+            MemSpace::Local => {
+                self.cycles += self.model.local_access;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use loopvm::{Expr, Program, Stmt};
+
+    /// y[gid] = x[gid] + 1 with gid = (bx * blockdim + tx).
+    fn saxpy_kernel(stride: i64) -> (Kernel, usize, usize) {
+        let n = 256usize;
+        let mut p = Program::new();
+        let x = p.buffer("x", n * stride as usize);
+        let y = p.buffer("y", n * stride as usize);
+        let bx = p.var("bx");
+        let tx = p.var("tx");
+        let gid = p.var("gid");
+        p.push(Stmt::let_(gid, Expr::var(bx) * Expr::i64(64) + Expr::var(tx)));
+        p.push(Stmt::store(
+            y,
+            Expr::var(gid) * Expr::i64(stride),
+            Expr::load(x, Expr::var(gid) * Expr::i64(stride)) + Expr::f32(1.0),
+        ));
+        let mut k = Kernel::new(p, [4, 1], [64, 1]);
+        k.block_vars[0] = Some(bx);
+        k.thread_vars[0] = Some(tx);
+        (k, x.index(), y.index())
+    }
+
+    #[test]
+    fn functional_vector_add() {
+        let (k, x, y) = saxpy_kernel(1);
+        let mut bufs = alloc_buffers(&k);
+        for (i, v) in bufs[x].iter_mut().enumerate() {
+            *v = i as f32;
+        }
+        let stats = launch(&k, &mut bufs, &GpuModel::default()).unwrap();
+        assert_eq!(bufs[y][10], 11.0);
+        assert_eq!(bufs[y][255], 256.0);
+        assert_eq!(stats.warps, 8); // 4 blocks * 64 threads / 32
+        assert_eq!(stats.divergent_branches, 0);
+    }
+
+    #[test]
+    fn coalescing_contiguous_beats_strided() {
+        let (k1, _, _) = saxpy_kernel(1);
+        let (k32, _, _) = saxpy_kernel(32);
+        let mut b1 = alloc_buffers(&k1);
+        let mut b32 = alloc_buffers(&k32);
+        let s1 = launch(&k1, &mut b1, &GpuModel::default()).unwrap();
+        let s32 = launch(&k32, &mut b32, &GpuModel::default()).unwrap();
+        // Contiguous: 1 segment per warp per access; strided by 32 floats:
+        // each lane touches its own segment.
+        assert!(s32.global_transactions >= 8 * s1.global_transactions);
+        assert!(s32.cycles > s1.cycles);
+    }
+
+    #[test]
+    fn divergence_counted_and_costed() {
+        // if (tx % 2) y[tx] = 1 else y[tx] = 2
+        let mut p = Program::new();
+        let y = p.buffer("y", 64);
+        let tx = p.var("tx");
+        p.push(Stmt::If {
+            cond: Expr::eq(Expr::var(tx) % Expr::i64(2), Expr::i64(0)),
+            then: vec![Stmt::store(y, Expr::var(tx), Expr::f32(1.0))],
+            else_: vec![Stmt::store(y, Expr::var(tx), Expr::f32(2.0))],
+        });
+        let mut k = Kernel::new(p, [1, 1], [64, 1]);
+        k.thread_vars[0] = Some(tx);
+        let mut bufs = alloc_buffers(&k);
+        let stats = launch(&k, &mut bufs, &GpuModel::default()).unwrap();
+        assert_eq!(stats.divergent_branches, 2); // one per warp
+        assert_eq!(bufs[0][0], 1.0);
+        assert_eq!(bufs[0][1], 2.0);
+    }
+
+    #[test]
+    fn shared_memory_bank_conflicts() {
+        // Each lane reads sh[tx * stride]: stride 1 = conflict-free,
+        // stride 32 = all lanes hit bank 0.
+        let build = |stride: i64| {
+            let mut p = Program::new();
+            let sh = p.buffer("sh", 32 * 32);
+            let y = p.buffer("y", 32);
+            let tx = p.var("tx");
+            p.push(Stmt::store(
+                y,
+                Expr::var(tx),
+                Expr::load(sh, Expr::var(tx) * Expr::i64(stride)),
+            ));
+            let mut k = Kernel::new(p, [1, 1], [32, 1]);
+            k.thread_vars[0] = Some(tx);
+            k.spaces[0] = MemSpace::Shared;
+            k
+        };
+        let k1 = build(1);
+        let k32 = build(32);
+        let mut b1 = alloc_buffers(&k1);
+        let mut b32 = alloc_buffers(&k32);
+        let s1 = launch(&k1, &mut b1, &GpuModel::default()).unwrap();
+        let s32 = launch(&k32, &mut b32, &GpuModel::default()).unwrap();
+        assert_eq!(s1.bank_conflict_degree, 0);
+        assert!(s32.bank_conflict_degree >= 31);
+        assert!(s32.cycles > s1.cycles);
+    }
+
+    #[test]
+    fn constant_broadcast_is_cheap() {
+        // All lanes read w[0] (uniform) vs w[tx] (diverging constant read).
+        let build = |uniform: bool| {
+            let mut p = Program::new();
+            let w = p.buffer("w", 32);
+            let y = p.buffer("y", 32);
+            let tx = p.var("tx");
+            let idx = if uniform { Expr::i64(0) } else { Expr::var(tx) };
+            p.push(Stmt::store(y, Expr::var(tx), Expr::load(w, idx)));
+            let mut k = Kernel::new(p, [1, 1], [32, 1]);
+            k.thread_vars[0] = Some(tx);
+            k.spaces[0] = MemSpace::Constant;
+            k
+        };
+        let ku = build(true);
+        let kd = build(false);
+        let mut bu = alloc_buffers(&ku);
+        let mut bd = alloc_buffers(&kd);
+        let su = launch(&ku, &mut bu, &GpuModel::default()).unwrap();
+        let sd = launch(&kd, &mut bd, &GpuModel::default()).unwrap();
+        assert_eq!(su.constant_broadcasts, 1);
+        assert!(sd.cycles > su.cycles);
+    }
+
+    #[test]
+    fn blocks_spread_over_sms() {
+        // 30 identical blocks on 15 SMs: device time ~ 2 blocks' cycles.
+        let mut p = Program::new();
+        let y = p.buffer("y", 32 * 30);
+        let (bx, tx) = (p.var("bx"), p.var("tx"));
+        p.push(Stmt::store(
+            y,
+            Expr::var(bx) * Expr::i64(32) + Expr::var(tx),
+            Expr::f32(1.0),
+        ));
+        let mut k = Kernel::new(p, [30, 1], [32, 1]);
+        k.block_vars[0] = Some(bx);
+        k.thread_vars[0] = Some(tx);
+        let mut bufs = alloc_buffers(&k);
+        let model = GpuModel::default();
+        let stats = launch(&k, &mut bufs, &model).unwrap();
+        // One-block kernel for reference.
+        let mut p1 = Program::new();
+        let y1 = p1.buffer("y", 32);
+        let tx1 = p1.var("tx");
+        p1.push(Stmt::store(y1, Expr::var(tx1), Expr::f32(1.0)));
+        let mut k1 = Kernel::new(p1, [1, 1], [32, 1]);
+        k1.thread_vars[0] = Some(tx1);
+        let mut bufs1 = alloc_buffers(&k1);
+        let s1 = launch(&k1, &mut bufs1, &model).unwrap();
+        assert!(stats.cycles <= 2.5 * s1.cycles, "{} vs {}", stats.cycles, s1.cycles);
+        assert!(bufs[0].iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn divergent_loop_bounds_execute_correctly() {
+        // for j in 0..tx { y[tx] += 1 }: triangular per-lane trip counts.
+        let mut p = Program::new();
+        let y = p.buffer("y", 32);
+        let tx = p.var("tx");
+        let j = p.var("j");
+        p.push(Stmt::serial(
+            j,
+            Expr::i64(0),
+            Expr::var(tx),
+            vec![Stmt::store(
+                y,
+                Expr::var(tx),
+                Expr::load(y, Expr::var(tx)) + Expr::f32(1.0),
+            )],
+        ));
+        let mut k = Kernel::new(p, [1, 1], [32, 1]);
+        k.thread_vars[0] = Some(tx);
+        let mut bufs = alloc_buffers(&k);
+        let stats = launch(&k, &mut bufs, &GpuModel::default()).unwrap();
+        assert!(stats.divergent_branches >= 1);
+        for t in 0..32 {
+            assert_eq!(bufs[0][t], t as f32, "lane {t}");
+        }
+    }
+
+    #[test]
+    fn copy_cost_scales_with_bytes() {
+        let m = GpuModel::default();
+        assert!(copy_cost(&m, 1 << 20) > copy_cost(&m, 1 << 10));
+        assert!(copy_cost(&m, 0) >= m.copy_latency);
+    }
+}

@@ -1,0 +1,349 @@
+//! Bounds inference by interval arithmetic.
+//!
+//! Halide computes, for every producer, the rectangular interval hull of
+//! the regions its consumers access. This is exact for rectangular
+//! pipelines, and an *over-approximation* for anything non-rectangular —
+//! which is precisely what the paper exploits in the `ticket #2373`
+//! comparison (triangular iteration space: the inferred bounds escape the
+//! valid region and the pipeline fails a bounds assertion).
+
+use crate::pipeline::{HExpr, Pipeline};
+use crate::{Error, Result};
+use std::collections::HashMap;
+
+/// An inclusive integer interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Lower endpoint.
+    pub lo: i64,
+    /// Upper endpoint.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// A single point.
+    pub fn point(v: i64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Interval width (`hi - lo + 1`, clamped at 0).
+    pub fn extent(&self) -> i64 {
+        (self.hi - self.lo + 1).max(0)
+    }
+
+    /// Hull of two intervals.
+    pub fn hull(&self, o: &Interval) -> Interval {
+        Interval { lo: self.lo.min(o.lo), hi: self.hi.max(o.hi) }
+    }
+
+    fn add(&self, o: &Interval) -> Interval {
+        Interval { lo: self.lo + o.lo, hi: self.hi + o.hi }
+    }
+
+    fn sub(&self, o: &Interval) -> Interval {
+        Interval { lo: self.lo - o.hi, hi: self.hi - o.lo }
+    }
+
+    fn mul(&self, o: &Interval) -> Interval {
+        let c = [self.lo * o.lo, self.lo * o.hi, self.hi * o.lo, self.hi * o.hi];
+        Interval {
+            lo: *c.iter().min().unwrap(),
+            hi: *c.iter().max().unwrap(),
+        }
+    }
+}
+
+/// Evaluates the interval of an integer index expression under a variable
+/// environment.
+pub fn eval_interval(e: &HExpr, env: &HashMap<String, Interval>) -> Result<Interval> {
+    Ok(match e {
+        HExpr::I64(v) => Interval::point(*v),
+        HExpr::Var(n) => *env.get(n).ok_or_else(|| {
+            Error::Schedule(format!("unknown variable {n} in index expression"))
+        })?,
+        HExpr::Add(a, b) => eval_interval(a, env)?.add(&eval_interval(b, env)?),
+        HExpr::Sub(a, b) => eval_interval(a, env)?.sub(&eval_interval(b, env)?),
+        HExpr::Mul(a, b) => eval_interval(a, env)?.mul(&eval_interval(b, env)?),
+        HExpr::Div(a, b) => {
+            let ia = eval_interval(a, env)?;
+            let ib = eval_interval(b, env)?;
+            if ib.lo != ib.hi || ib.lo <= 0 {
+                return Err(Error::Schedule("interval division needs a positive constant".into()));
+            }
+            Interval { lo: ia.lo.div_euclid(ib.lo), hi: ia.hi.div_euclid(ib.lo) }
+        }
+        HExpr::Min(a, b) => {
+            let (ia, ib) = (eval_interval(a, env)?, eval_interval(b, env)?);
+            Interval { lo: ia.lo.min(ib.lo), hi: ia.hi.min(ib.hi) }
+        }
+        HExpr::Max(a, b) => {
+            let (ia, ib) = (eval_interval(a, env)?, eval_interval(b, env)?);
+            Interval { lo: ia.lo.max(ib.lo), hi: ia.hi.max(ib.hi) }
+        }
+        HExpr::Clamp(x, lo, hi) => {
+            let ix = eval_interval(x, env)?;
+            let ilo = eval_interval(lo, env)?;
+            let ihi = eval_interval(hi, env)?;
+            Interval { lo: ix.lo.max(ilo.lo).min(ihi.hi), hi: ix.hi.min(ihi.hi).max(ilo.lo) }
+        }
+        // Both select branches contribute (the conservative hull the
+        // paper attributes to interval frameworks for data-dependent
+        // accesses).
+        HExpr::Select(_, a, b) => eval_interval(a, env)?.hull(&eval_interval(b, env)?),
+        HExpr::Abs(a) => {
+            let ia = eval_interval(a, env)?;
+            let lo = if ia.lo <= 0 && ia.hi >= 0 { 0 } else { ia.lo.abs().min(ia.hi.abs()) };
+            Interval { lo, hi: ia.lo.abs().max(ia.hi.abs()) }
+        }
+        HExpr::CastI(a) | HExpr::CastF(a) => eval_interval(a, env)?,
+        other => {
+            return Err(Error::Schedule(format!(
+                "expression not usable as an index: {other:?}"
+            )))
+        }
+    })
+}
+
+/// The inferred regions of a pipeline.
+#[derive(Debug, Clone)]
+pub struct BoundsInfo {
+    /// Computed box per func (indexed by func id), one interval per var.
+    pub func_box: Vec<Vec<Interval>>,
+    /// Required region per input.
+    pub input_required: Vec<Vec<Interval>>,
+}
+
+/// Infers bounds for every func and input given the output's extents,
+/// walking consumers before producers.
+///
+/// # Errors
+///
+/// [`Error::CyclicGraph`] for cyclic pipelines, [`Error::BoundsAssertion`]
+/// when an input's required region escapes its declaration — the failure
+/// mode of the paper's `ticket #2373`.
+pub fn infer_bounds(p: &Pipeline, output_extents: &[i64]) -> Result<BoundsInfo> {
+    let order = p.topo_order()?;
+    let out = p
+        .output
+        .ok_or_else(|| Error::Schedule("pipeline has no output".into()))?;
+    let n = p.funcs().len();
+    let mut func_box: Vec<Option<Vec<Interval>>> = vec![None; n];
+    assert_eq!(
+        output_extents.len(),
+        p.funcs()[out.index()].vars.len(),
+        "output extents arity mismatch"
+    );
+    func_box[out.index()] = Some(
+        output_extents
+            .iter()
+            .map(|&e| Interval { lo: 0, hi: e - 1 })
+            .collect(),
+    );
+    let mut input_required: Vec<Option<Vec<Interval>>> = vec![None; p.inputs().len()];
+
+    // Consumers before producers: reverse topological order.
+    for &fid in order.iter().rev() {
+        let Some(bx) = func_box[fid.index()].clone() else {
+            continue; // unused func
+        };
+        let f = &p.funcs()[fid.index()];
+        let mut env = HashMap::new();
+        for (v, iv) in f.vars.iter().zip(&bx) {
+            env.insert(v.clone(), *iv);
+        }
+        // Visit accesses in the definition.
+        visit_accesses(&f.def, &env, &mut func_box, &mut input_required, p)?;
+    }
+
+    // Validate inputs.
+    let mut inputs_final = Vec::with_capacity(p.inputs().len());
+    for (k, (name, extents)) in p.inputs().iter().enumerate() {
+        let req = input_required[k]
+            .clone()
+            .unwrap_or_else(|| extents.iter().map(|_| Interval::point(0)).collect());
+        for (iv, &ext) in req.iter().zip(extents) {
+            if iv.lo < 0 || iv.hi >= ext {
+                return Err(Error::BoundsAssertion {
+                    input: name.clone(),
+                    required: req.iter().map(|i| (i.lo, i.hi)).collect(),
+                    declared: extents.clone(),
+                });
+            }
+        }
+        inputs_final.push(req);
+    }
+    let boxes = func_box
+        .into_iter()
+        .enumerate()
+        .map(|(i, b)| {
+            b.unwrap_or_else(|| {
+                // Unreached funcs get empty boxes.
+                p.funcs()[i].vars.iter().map(|_| Interval { lo: 0, hi: -1 }).collect()
+            })
+        })
+        .collect();
+    Ok(BoundsInfo { func_box: boxes, input_required: inputs_final })
+}
+
+fn visit_accesses(
+    e: &HExpr,
+    env: &HashMap<String, Interval>,
+    func_box: &mut [Option<Vec<Interval>>],
+    input_required: &mut [Option<Vec<Interval>>],
+    p: &Pipeline,
+) -> Result<()> {
+    match e {
+        HExpr::Call(g, idx) => {
+            let mut req = Vec::with_capacity(idx.len());
+            for ix in idx {
+                req.push(eval_interval(ix, env)?);
+                visit_accesses(ix, env, func_box, input_required, p)?;
+            }
+            let slot = &mut func_box[g.index()];
+            *slot = Some(match slot.take() {
+                None => req,
+                Some(prev) => prev.iter().zip(&req).map(|(a, b)| a.hull(b)).collect(),
+            });
+        }
+        HExpr::In(k, idx) => {
+            let mut req = Vec::with_capacity(idx.len());
+            for ix in idx {
+                req.push(eval_interval(ix, env)?);
+                visit_accesses(ix, env, func_box, input_required, p)?;
+            }
+            let slot = &mut input_required[k.index()];
+            *slot = Some(match slot.take() {
+                None => req,
+                Some(prev) => prev.iter().zip(&req).map(|(a, b)| a.hull(b)).collect(),
+            });
+        }
+        HExpr::Add(a, b)
+        | HExpr::Sub(a, b)
+        | HExpr::Mul(a, b)
+        | HExpr::Div(a, b)
+        | HExpr::Min(a, b)
+        | HExpr::Max(a, b)
+        | HExpr::Lt(a, b)
+        | HExpr::Ge(a, b) => {
+            visit_accesses(a, env, func_box, input_required, p)?;
+            visit_accesses(b, env, func_box, input_required, p)?;
+        }
+        HExpr::Clamp(a, b, c) | HExpr::Select(a, b, c) => {
+            visit_accesses(a, env, func_box, input_required, p)?;
+            visit_accesses(b, env, func_box, input_required, p)?;
+            visit_accesses(c, env, func_box, input_required, p)?;
+        }
+        HExpr::Abs(a) | HExpr::CastF(a) | HExpr::CastI(a) => {
+            visit_accesses(a, env, func_box, input_required, p)?;
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+
+    #[test]
+    fn stencil_halo_inferred() {
+        // out(y, x) = in(y, x) + in(y, x+2): input needs columns 0..X+1.
+        let mut p = Pipeline::new();
+        let input = p.input("in", &[8, 12]);
+        let out = p.func(
+            "out",
+            &["y", "x"],
+            HExpr::In(input, vec![HExpr::var("y"), HExpr::var("x")])
+                + HExpr::In(
+                    input,
+                    vec![HExpr::var("y"), HExpr::var("x") + HExpr::i(2)],
+                ),
+        );
+        p.set_output(out);
+        let b = infer_bounds(&p, &[8, 10]).unwrap();
+        assert_eq!(b.input_required[0][1], Interval { lo: 0, hi: 11 });
+    }
+
+    #[test]
+    fn out_of_bounds_asserts() {
+        // Requires column X (out of declared extent): the #2373 failure.
+        let mut p = Pipeline::new();
+        let input = p.input("in", &[8, 10]);
+        let out = p.func(
+            "out",
+            &["y", "x"],
+            HExpr::In(input, vec![HExpr::var("y"), HExpr::var("x") + HExpr::i(1)]),
+        );
+        p.set_output(out);
+        assert!(matches!(
+            infer_bounds(&p, &[8, 10]),
+            Err(Error::BoundsAssertion { .. })
+        ));
+    }
+
+    #[test]
+    fn clamped_access_stays_in_bounds() {
+        let mut p = Pipeline::new();
+        let input = p.input("in", &[8, 10]);
+        let out = p.func(
+            "out",
+            &["y", "x"],
+            HExpr::In(
+                input,
+                vec![
+                    HExpr::var("y"),
+                    HExpr::clamp(HExpr::var("x") + HExpr::i(3), 0, 9),
+                ],
+            ),
+        );
+        p.set_output(out);
+        let b = infer_bounds(&p, &[8, 10]).unwrap();
+        // x + 3 over [0, 9] clamps to [3, 9] — inside the declaration.
+        assert_eq!(b.input_required[0][1], Interval { lo: 3, hi: 9 });
+    }
+
+    #[test]
+    fn producer_box_is_consumer_hull() {
+        // b reads a at x-1 and x+1 over x in 0..10 -> a's box [-1, 10]...
+        // a reads nothing, so only its box matters.
+        let mut p = Pipeline::new();
+        let a = p.func("a", &["x"], HExpr::f(1.0));
+        let b = p.func(
+            "b",
+            &["x"],
+            HExpr::Call(a, vec![HExpr::var("x") - HExpr::i(1)])
+                + HExpr::Call(a, vec![HExpr::var("x") + HExpr::i(1)]),
+        );
+        p.set_output(b);
+        let bi = infer_bounds(&p, &[10]).unwrap();
+        assert_eq!(bi.func_box[a.index()][0], Interval { lo: -1, hi: 10 });
+    }
+
+    #[test]
+    fn select_hulls_both_branches() {
+        // The triangular pattern: in(select(x >= r, x - r, 0)) over-infers.
+        let mut p = Pipeline::new();
+        let input = p.input("in", &[16]);
+        let r = 8i64;
+        let out = p.func(
+            "out",
+            &["x"],
+            HExpr::In(
+                input,
+                vec![HExpr::Select(
+                    Box::new(HExpr::Ge(Box::new(HExpr::var("x")), Box::new(HExpr::i(r)))),
+                    Box::new(HExpr::var("x") - HExpr::i(r)),
+                    Box::new(HExpr::var("x") + HExpr::i(r)),
+                )],
+            ),
+        );
+        p.set_output(out);
+        // x in 0..16: true branch [-8, 7], false [8, 23]: hull [-8, 23]
+        // escapes [0, 15] -> assertion (over-approximation failure).
+        assert!(matches!(
+            infer_bounds(&p, &[16]),
+            Err(Error::BoundsAssertion { .. })
+        ));
+    }
+}

@@ -1,0 +1,382 @@
+//! Funcs, expressions and schedules of the interval-based DSL.
+
+use crate::{Error, Result};
+
+/// Identifier of a [`Func`] in a pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FuncId(pub(crate) u32);
+
+impl FuncId {
+    /// Raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a raw index (needed to express forward references
+    /// when constructing deliberately-cyclic graphs in tests).
+    pub fn from_raw(i: u32) -> FuncId {
+        FuncId(i)
+    }
+}
+
+/// Identifier of an input image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InputId(pub(crate) u32);
+
+impl InputId {
+    /// Raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Expressions of the DSL: float values over integer index expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HExpr {
+    /// Float literal.
+    F32(f32),
+    /// Integer literal.
+    I64(i64),
+    /// A pure variable of the surrounding `Func` (e.g. `x`, `y`, `c`).
+    Var(String),
+    /// A call to another func: `f(ix...)`.
+    Call(FuncId, Vec<HExpr>),
+    /// A read of an input image.
+    In(InputId, Vec<HExpr>),
+    /// Addition.
+    Add(Box<HExpr>, Box<HExpr>),
+    /// Subtraction.
+    Sub(Box<HExpr>, Box<HExpr>),
+    /// Multiplication.
+    Mul(Box<HExpr>, Box<HExpr>),
+    /// Division.
+    Div(Box<HExpr>, Box<HExpr>),
+    /// Minimum.
+    Min(Box<HExpr>, Box<HExpr>),
+    /// Maximum.
+    Max(Box<HExpr>, Box<HExpr>),
+    /// `clamp(x, lo, hi)` — the boundary idiom; interval analysis knows
+    /// its exact range.
+    Clamp(Box<HExpr>, Box<HExpr>, Box<HExpr>),
+    /// Absolute value.
+    Abs(Box<HExpr>),
+    /// `select(cond, a, b)` where cond is `a < b`-shaped; both branches
+    /// contribute to bounds (the over-approximation of §V-B applied by
+    /// interval analysis).
+    Select(Box<HExpr>, Box<HExpr>, Box<HExpr>),
+    /// `a < b` predicate.
+    Lt(Box<HExpr>, Box<HExpr>),
+    /// `a >= b` predicate.
+    Ge(Box<HExpr>, Box<HExpr>),
+    /// Cast integer expression to float.
+    CastF(Box<HExpr>),
+    /// Cast float expression to integer (truncation).
+    CastI(Box<HExpr>),
+}
+
+impl HExpr {
+    /// Float literal.
+    pub fn f(v: f32) -> HExpr {
+        HExpr::F32(v)
+    }
+
+    /// Integer literal.
+    pub fn i(v: i64) -> HExpr {
+        HExpr::I64(v)
+    }
+
+    /// Variable.
+    pub fn var(n: &str) -> HExpr {
+        HExpr::Var(n.to_string())
+    }
+
+    /// Clamp helper.
+    pub fn clamp(x: HExpr, lo: i64, hi: i64) -> HExpr {
+        HExpr::Clamp(Box::new(x), Box::new(HExpr::i(lo)), Box::new(HExpr::i(hi)))
+    }
+
+    /// Collects func calls.
+    pub(crate) fn calls(&self, out: &mut Vec<FuncId>) {
+        match self {
+            HExpr::Call(id, idx) => {
+                out.push(*id);
+                for e in idx {
+                    e.calls(out);
+                }
+            }
+            HExpr::In(_, idx) => {
+                for e in idx {
+                    e.calls(out);
+                }
+            }
+            HExpr::Add(a, b)
+            | HExpr::Sub(a, b)
+            | HExpr::Mul(a, b)
+            | HExpr::Div(a, b)
+            | HExpr::Min(a, b)
+            | HExpr::Max(a, b)
+            | HExpr::Lt(a, b)
+            | HExpr::Ge(a, b) => {
+                a.calls(out);
+                b.calls(out);
+            }
+            HExpr::Clamp(a, b, c) | HExpr::Select(a, b, c) => {
+                a.calls(out);
+                b.calls(out);
+                c.calls(out);
+            }
+            HExpr::Abs(a) | HExpr::CastF(a) | HExpr::CastI(a) => a.calls(out),
+            _ => {}
+        }
+    }
+}
+
+impl std::ops::Add for HExpr {
+    type Output = HExpr;
+    fn add(self, r: HExpr) -> HExpr {
+        HExpr::Add(Box::new(self), Box::new(r))
+    }
+}
+impl std::ops::Sub for HExpr {
+    type Output = HExpr;
+    fn sub(self, r: HExpr) -> HExpr {
+        HExpr::Sub(Box::new(self), Box::new(r))
+    }
+}
+impl std::ops::Mul for HExpr {
+    type Output = HExpr;
+    fn mul(self, r: HExpr) -> HExpr {
+        HExpr::Mul(Box::new(self), Box::new(r))
+    }
+}
+impl std::ops::Div for HExpr {
+    type Output = HExpr;
+    fn div(self, r: HExpr) -> HExpr {
+        HExpr::Div(Box::new(self), Box::new(r))
+    }
+}
+
+/// Where a func is computed (a simplified Halide schedule).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Placement {
+    /// Computed entirely before its consumers (own loop nest).
+    Root,
+    /// Computed inside the given consumer at the named loop variable
+    /// (locally-required interval, recomputed per iteration — redundant
+    /// work as in Halide).
+    At(FuncId, String),
+    /// Substituted into consumers.
+    Inline,
+}
+
+/// One pure function definition.
+#[derive(Debug, Clone)]
+pub struct Func {
+    /// Name.
+    pub name: String,
+    /// Pure variables, outermost first (e.g. `["y", "x"]`).
+    pub vars: Vec<String>,
+    /// Definition.
+    pub def: HExpr,
+    /// Placement.
+    pub placement: Placement,
+    /// Loop level to parallelize (variable name).
+    pub parallel: Option<String>,
+    /// Loop level to vectorize (variable name, width).
+    pub vectorize: Option<(String, usize)>,
+    /// 2-D tiling (outer var, inner var, sizes).
+    pub tile: Option<(String, String, i64, i64)>,
+}
+
+/// A pipeline: inputs, funcs and one output func.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    pub(crate) inputs: Vec<(String, Vec<i64>)>,
+    pub(crate) funcs: Vec<Func>,
+    pub(crate) output: Option<FuncId>,
+}
+
+impl Pipeline {
+    /// Empty pipeline.
+    pub fn new() -> Pipeline {
+        Pipeline::default()
+    }
+
+    /// Declares an input image with the given extents.
+    pub fn input(&mut self, name: &str, extents: &[i64]) -> InputId {
+        self.inputs.push((name.to_string(), extents.to_vec()));
+        InputId((self.inputs.len() - 1) as u32)
+    }
+
+    /// Declares a func.
+    pub fn func(&mut self, name: &str, vars: &[&str], def: HExpr) -> FuncId {
+        self.funcs.push(Func {
+            name: name.to_string(),
+            vars: vars.iter().map(|s| s.to_string()).collect(),
+            def,
+            placement: Placement::Root,
+            parallel: None,
+            vectorize: None,
+            tile: None,
+        });
+        FuncId((self.funcs.len() - 1) as u32)
+    }
+
+    /// Marks the pipeline output.
+    pub fn set_output(&mut self, f: FuncId) {
+        self.output = Some(f);
+    }
+
+    /// `f.compute_at(g, var)`.
+    pub fn compute_at(&mut self, f: FuncId, g: FuncId, var: &str) {
+        self.funcs[f.index()].placement = Placement::At(g, var.to_string());
+    }
+
+    /// `f.compute_inline()`.
+    pub fn compute_inline(&mut self, f: FuncId) {
+        self.funcs[f.index()].placement = Placement::Inline;
+    }
+
+    /// `f.parallel(var)`.
+    pub fn parallel(&mut self, f: FuncId, var: &str) {
+        self.funcs[f.index()].parallel = Some(var.to_string());
+    }
+
+    /// `f.vectorize(var, w)`.
+    pub fn vectorize(&mut self, f: FuncId, var: &str, w: usize) {
+        self.funcs[f.index()].vectorize = Some((var.to_string(), w));
+    }
+
+    /// `f.tile(x, y, tx, ty)` (names refer to existing vars; tiling is
+    /// applied at lowering).
+    pub fn tile(&mut self, f: FuncId, x: &str, y: &str, tx: i64, ty: i64) {
+        self.funcs[f.index()].tile = Some((x.to_string(), y.to_string(), tx, ty));
+    }
+
+    /// `compute_with`-style fusion request across funcs. Halide refuses it
+    /// whenever the second func reads the first (it cannot prove
+    /// legality, §II) — and so does this reproduction, unconditionally
+    /// for readers.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Schedule`] when `g` (transitively) reads `f`.
+    pub fn compute_with(&mut self, f: FuncId, g: FuncId) -> Result<()> {
+        let mut calls = Vec::new();
+        self.funcs[g.index()].def.calls(&mut calls);
+        if calls.contains(&f) {
+            return Err(Error::Schedule(format!(
+                "cannot fuse {} with {}: the second loop reads a value produced by the first \
+                 (Halide's conservative rule)",
+                self.funcs[f.index()].name, self.funcs[g.index()].name
+            )));
+        }
+        // Accepted fusions carry no benefit in this reproduction (funcs
+        // write distinct buffers); recorded as a no-op.
+        Ok(())
+    }
+
+    /// Validates that the func graph is acyclic (topological order of
+    /// funcs). Halide rejects cyclic graphs (§II: `edgeDetector`).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::CyclicGraph`] when a dependency cycle exists.
+    pub fn topo_order(&self) -> Result<Vec<FuncId>> {
+        let n = self.funcs.len();
+        let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, f) in self.funcs.iter().enumerate() {
+            let mut calls = Vec::new();
+            f.def.calls(&mut calls);
+            deps[i] = calls.iter().map(|c| c.index()).collect();
+        }
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 visiting, 2 done
+        let mut order = Vec::with_capacity(n);
+        fn visit(
+            i: usize,
+            deps: &[Vec<usize>],
+            state: &mut [u8],
+            order: &mut Vec<usize>,
+            names: &[String],
+        ) -> Result<()> {
+            match state[i] {
+                2 => return Ok(()),
+                1 => {
+                    return Err(Error::CyclicGraph(format!(
+                        "function {} participates in a cycle",
+                        names[i]
+                    )))
+                }
+                _ => {}
+            }
+            state[i] = 1;
+            for &d in &deps[i] {
+                visit(d, deps, state, order, names)?;
+            }
+            state[i] = 2;
+            order.push(i);
+            Ok(())
+        }
+        let names: Vec<String> = self.funcs.iter().map(|f| f.name.clone()).collect();
+        for i in 0..n {
+            visit(i, &deps, &mut state, &mut order, &names)?;
+        }
+        Ok(order.into_iter().map(|i| FuncId(i as u32)).collect())
+    }
+
+    /// The funcs arena.
+    pub fn funcs(&self) -> &[Func] {
+        &self.funcs
+    }
+
+    /// The declared inputs.
+    pub fn inputs(&self) -> &[(String, Vec<i64>)] {
+        &self.inputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acyclic_graph_orders_producers_first() {
+        let mut p = Pipeline::new();
+        let input = p.input("img", &[16, 16]);
+        let a = p.func(
+            "a",
+            &["y", "x"],
+            HExpr::In(input, vec![HExpr::var("y"), HExpr::var("x")]) + HExpr::f(1.0),
+        );
+        let b = p.func(
+            "b",
+            &["y", "x"],
+            HExpr::Call(a, vec![HExpr::var("y"), HExpr::var("x")]) * HExpr::f(2.0),
+        );
+        p.set_output(b);
+        let order = p.topo_order().unwrap();
+        let pos = |id: FuncId| order.iter().position(|&o| o == id).unwrap();
+        assert!(pos(a) < pos(b));
+    }
+
+    #[test]
+    fn cyclic_graph_rejected() {
+        // a reads b and b reads a — the edgeDetector shape.
+        let mut p = Pipeline::new();
+        let a_id = FuncId(0);
+        let b_id = FuncId(1);
+        p.func("a", &["x"], HExpr::Call(b_id, vec![HExpr::var("x")]));
+        p.func("b", &["x"], HExpr::Call(a_id, vec![HExpr::var("x")]));
+        assert!(matches!(p.topo_order(), Err(Error::CyclicGraph(_))));
+    }
+
+    #[test]
+    fn compute_with_refuses_reader() {
+        let mut p = Pipeline::new();
+        let a = p.func("a", &["x"], HExpr::f(1.0));
+        let b = p.func("b", &["x"], HExpr::Call(a, vec![HExpr::var("x")]));
+        assert!(p.compute_with(a, b).is_err());
+        let c = p.func("c", &["x"], HExpr::f(2.0));
+        assert!(p.compute_with(a, c).is_ok());
+    }
+}

@@ -1,0 +1,237 @@
+//! GPU variants of the image benchmarks (Figure 6, middle block).
+//!
+//! Per the paper, the Tiramisu and Halide GPU schedules for `conv2D` and
+//! `gaussian` differ **only** in `tag_gpu_constant()` on the weights
+//! buffer (Halide's PTX backend does not use constant memory), and on `nb`
+//! Tiramisu additionally fuses the stages into one kernel. The PENCIL
+//! variant uses a naive 1-D thread mapping whose strided accesses and
+//! per-thread control flow cost transactions and divergence.
+
+use crate::image::{
+    conv2d_layer1, cvt_layer1, edge_layer1, gaussian_layer1, nb_layer1, params, ticket_layer1,
+    warp_layer1, ImgSize,
+};
+use tiramisu::{Expr as E, Function, GpuModule, GpuOptions, MemSpace};
+
+/// Which GPU compiler a variant models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuFlavor {
+    /// Tiramisu: tiled mapping, constant memory for weights, fusion.
+    Tiramisu,
+    /// Halide: same tiled mapping, no constant memory, no fusion.
+    Halide,
+    /// PENCIL: automatic 1-D mapping (strided accesses, divergence).
+    Pencil,
+}
+
+fn tile_comp(
+    f: &mut Function,
+    c: tiramisu::CompId,
+    flavor: GpuFlavor,
+    iname: &str,
+    jname: &str,
+) -> tiramisu::Result<()> {
+    match flavor {
+        GpuFlavor::Tiramisu | GpuFlavor::Halide => f.tile_gpu(c, iname, jname, 8, 8),
+        GpuFlavor::Pencil => {
+            // 1-D mapping: blocks/threads along i only; the j loop runs
+            // inside each thread (poor locality across the warp).
+            f.split(c, iname, 32, "iB", "iT")?;
+            f.tag_level_gpu_block(c, "iB", 0)?;
+            f.tag_level_gpu_thread(c, "iT", 0)
+        }
+    }
+}
+
+/// Compiles a GPU variant of a named image benchmark. Halide returns
+/// `Err` for the two structurally-unsupported benchmarks (`-` cells).
+///
+/// # Errors
+///
+/// Structural unsupport (Halide on edgeDetector / ticket #2373) or
+/// compilation errors.
+pub fn gpu_variant(name: &str, s: ImgSize, flavor: GpuFlavor) -> tiramisu::Result<GpuModule> {
+    if flavor == GpuFlavor::Halide && (name == "edgeDetector" || name == "ticket #2373") {
+        return Err(tiramisu::Error::Backend(format!(
+            "halide cannot express {name} (cyclic graph / non-rectangular bounds)"
+        )));
+    }
+    let check = false; // cyclic-buffer benchmarks skip the flow check here
+    let opts = GpuOptions { check_legality: check };
+    match name {
+        "edgeDetector" => {
+            let (mut f, r, out) = edge_layer1(s);
+            tile_comp(&mut f, r, flavor, "i", "j")?;
+            tile_comp(&mut f, out, flavor, "i", "j")?;
+            tiramisu::compile_gpu(&f, &params(s), opts)
+        }
+        "cvtColor" => {
+            let (mut f, gray) = cvt_layer1(s);
+            tile_comp(&mut f, gray, flavor, "i", "j")?;
+            tiramisu::compile_gpu(&f, &params(s), opts)
+        }
+        "conv2D" => {
+            let (mut f, out) = conv2d_layer1(s);
+            if flavor == GpuFlavor::Tiramisu {
+                // The paper's only schedule difference vs Halide.
+                let wbuf = f.buffer("wconst", &[E::i64(9)]);
+                f.tag_buffer(wbuf, MemSpace::GpuConstant);
+                let w = f.comp_by_name("w").unwrap();
+                f.store_in(w, wbuf, &[E::iter("k")]);
+            }
+            tile_comp(&mut f, out, flavor, "i", "j")?;
+            tiramisu::compile_gpu(&f, &params(s), opts)
+        }
+        "warpAffine" => {
+            let (mut f, out) = warp_layer1(s);
+            tile_comp(&mut f, out, flavor, "i", "j")?;
+            tiramisu::compile_gpu(&f, &params(s), opts)
+        }
+        "gaussian" => {
+            let (mut f, gx, gy) = gaussian_layer1(s);
+            if flavor == GpuFlavor::Tiramisu {
+                let gbuf = f.buffer("gconst", &[E::i64(5)]);
+                f.tag_buffer(gbuf, MemSpace::GpuConstant);
+                let g = f.comp_by_name("g").unwrap();
+                f.store_in(g, gbuf, &[E::iter("k")]);
+            }
+            tile_comp(&mut f, gx, flavor, "i", "j")?;
+            tile_comp(&mut f, gy, flavor, "i", "j")?;
+            tiramisu::compile_gpu(&f, &params(s), opts)
+        }
+        "nb" => {
+            let (mut f, [neg, bright, mix, out]) = nb_layer1(s);
+            if flavor == GpuFlavor::Tiramisu {
+                // One kernel, intermediates kept in registers: the fused
+                // form a GPU programmer (and Tiramisu's fusion) produces.
+                f.inline(neg)?;
+                f.inline(bright)?;
+                f.inline(mix)?;
+                tile_comp(&mut f, out, flavor, "i", "j")?;
+            } else {
+                // Four kernels, intermediates round-tripping through
+                // global memory.
+                for c in [neg, bright, mix, out] {
+                    tile_comp(&mut f, c, flavor, "i", "j")?;
+                }
+            }
+            tiramisu::compile_gpu(&f, &params(s), opts)
+        }
+        "ticket #2373" => {
+            let (mut f, out) = ticket_layer1(s);
+            tile_comp(&mut f, out, flavor, "i", "j")?;
+            tiramisu::compile_gpu(&f, &params(s), opts)
+        }
+        other => panic!("unknown benchmark {other}"),
+    }
+}
+
+/// A blur kernel reading a 3-wide input window, with or without
+/// `cache_shared_at` on the input tile (the ablation knob for the paper's
+/// novel caching command).
+///
+/// # Errors
+///
+/// Compilation errors.
+pub fn blur_shared_cache(n: i64, cache: bool) -> tiramisu::Result<tiramisu::GpuModule> {
+    use tiramisu::{Expr as E, Function};
+    let mut f = Function::new("blurc", &["N"]);
+    let i = f.var("i", 0, E::param("N"));
+    let j = f.var("j", 0, E::param("N"));
+    let input = f
+        .input(
+            "in",
+            &[
+                f.var("i", 0, E::param("N")),
+                f.var("j", 0, E::param("N") + E::i64(2)),
+            ],
+        )
+        .unwrap();
+    let at = |dj: i64| E::Access(input, vec![E::iter("i"), E::iter("j") + E::i64(dj)]);
+    let out = f
+        .computation("out", &[i, j], (at(0) + at(1) + at(2)) / E::f32(3.0))
+        .unwrap();
+    f.tile_gpu(out, "i", "j", 8, 8)?;
+    if cache {
+        f.cache_shared_at(input, out, "jB")?;
+    }
+    tiramisu::compile_gpu(&f, &[("N", n)], tiramisu::GpuOptions::default())
+}
+
+/// Runs a compiled GPU module with deterministically-filled inputs and
+/// returns (total modeled cycles, launch stats, buffers).
+///
+/// # Errors
+///
+/// Runtime errors from the simulator.
+pub fn run_gpu(module: &GpuModule) -> tiramisu::Result<(f64, tiramisu::GpuRun, Vec<Vec<f32>>)> {
+    let mut bufs = module.alloc_buffers();
+    for (k, (name, _)) in module.h2d.iter().enumerate() {
+        if let Some(idx) = module.buffer_index(name) {
+            crate::fill_buffer(&mut bufs[idx], 0x5EED + k as u64);
+        }
+    }
+    let run = module.run(&mut bufs, &gpusim::GpuModel::default())?;
+    Ok((run.total_cycles, run, bufs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::IMAGE_BENCHMARKS;
+
+    #[test]
+    fn gpu_tiramisu_compiles_and_runs_all() {
+        let s = ImgSize::small();
+        for name in IMAGE_BENCHMARKS {
+            let m = gpu_variant(name, s, GpuFlavor::Tiramisu)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let (cycles, _, _) = run_gpu(&m).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(cycles > 0.0, "{name}");
+        }
+    }
+
+    #[test]
+    fn gpu_halide_unsupported_pair_errors() {
+        let s = ImgSize::small();
+        assert!(gpu_variant("edgeDetector", s, GpuFlavor::Halide).is_err());
+        assert!(gpu_variant("ticket #2373", s, GpuFlavor::Halide).is_err());
+    }
+
+    #[test]
+    fn constant_memory_wins_conv2d_gpu() {
+        // The paper's Fig. 6 GPU row: Halide 1.3x on conv2D because it
+        // does not use constant memory.
+        let s = ImgSize::small();
+        let t = gpu_variant("conv2D", s, GpuFlavor::Tiramisu).unwrap();
+        let h = gpu_variant("conv2D", s, GpuFlavor::Halide).unwrap();
+        let (tc, _, tb) = run_gpu(&t).unwrap();
+        let (hc, _, hb) = run_gpu(&h).unwrap();
+        assert!(tc < hc, "tiramisu {tc:.0} should beat halide {hc:.0}");
+        // Same results.
+        let t_out = t.buffer_index("out").unwrap();
+        let h_out = h.buffer_index("out").unwrap();
+        crate::assert_close(&tb[t_out], &hb[h_out], 1e-3);
+    }
+
+    #[test]
+    fn fused_nb_beats_unfused_on_gpu() {
+        let s = ImgSize::small();
+        let t = gpu_variant("nb", s, GpuFlavor::Tiramisu).unwrap();
+        let h = gpu_variant("nb", s, GpuFlavor::Halide).unwrap();
+        assert!(t.kernels.len() < h.kernels.len(), "fusion must reduce kernel count");
+        let (tc, _, _) = run_gpu(&t).unwrap();
+        let (hc, _, _) = run_gpu(&h).unwrap();
+        assert!(tc < hc, "tiramisu {tc:.0} should beat halide {hc:.0}");
+    }
+
+    #[test]
+    fn pencil_mapping_slower_than_tiled() {
+        let s = ImgSize::small();
+        let t = gpu_variant("cvtColor", s, GpuFlavor::Tiramisu).unwrap();
+        let p = gpu_variant("cvtColor", s, GpuFlavor::Pencil).unwrap();
+        let (tc, _, _) = run_gpu(&t).unwrap();
+        let (pc, _, _) = run_gpu(&p).unwrap();
+        assert!(pc > tc, "pencil {pc:.0} should trail tiramisu {tc:.0}");
+    }
+}

@@ -1,0 +1,108 @@
+#![warn(missing_docs)]
+
+//! `kernels` — every benchmark of the paper's evaluation (§VI), each in
+//! all the variants the figures compare.
+//!
+//! | Module | Paper benchmarks | Figures |
+//! |---|---|---|
+//! | [`sgemm`] | generalized matrix multiplication | Fig. 1 (CPU + GPU), Fig. 5 |
+//! | [`dnn`] | Conv, VGG block | Fig. 5 |
+//! | [`algebra`] | HPCG kernels, Baryon contraction | Fig. 5 |
+//! | [`image`] | edgeDetector, cvtColor, conv2D, warpAffine, gaussian, nb, ticket #2373 | Fig. 6 (all three architectures), Fig. 7 |
+//!
+//! Every variant lowers to the shared `loopvm`/`gpusim`/`mpisim`
+//! substrates, so the *relative* numbers the figures report are produced
+//! by the schedules alone. Inputs are filled deterministically
+//! ([`fill_buffer`], seeded `rand`), and every scheduled variant is
+//! checked against a naive reference in the test suite.
+
+pub mod algebra;
+pub mod dnn;
+pub mod image;
+pub mod image_dist;
+pub mod image_gpu;
+pub mod sgemm;
+
+use loopvm::{BufId, Machine, Program, RunStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// A compiled CPU benchmark variant ready to execute.
+pub struct Prepared {
+    /// Human-readable variant name (e.g. `"Tiramisu"`, `"Intel MKL"`).
+    pub name: String,
+    /// The VM program.
+    pub program: Program,
+    /// Buffers to fill with deterministic data before running.
+    pub inputs: Vec<BufId>,
+    /// The buffer holding the result (for checksums/correctness).
+    pub output: BufId,
+}
+
+impl Prepared {
+    /// Creates a machine with deterministically-filled inputs.
+    pub fn machine(&self) -> Machine {
+        let mut m = Machine::new(&self.program);
+        for (k, b) in self.inputs.iter().enumerate() {
+            fill_buffer(m.buffer_mut(*b), 0x5EED + k as u64);
+        }
+        m
+    }
+
+    /// Runs under the cost model, returning modeled statistics.
+    ///
+    /// # Errors
+    ///
+    /// VM runtime errors.
+    pub fn run_modeled(&self) -> loopvm::Result<RunStats> {
+        let mut m = self.machine();
+        m.run_with_stats(&self.program)
+    }
+
+    /// Runs for wall-clock time (no stats overhead).
+    ///
+    /// # Errors
+    ///
+    /// VM runtime errors.
+    pub fn run_wall(&self) -> loopvm::Result<(Duration, Vec<f32>)> {
+        let mut m = self.machine();
+        let t = Instant::now();
+        m.run(&self.program)?;
+        let el = t.elapsed();
+        Ok((el, m.buffer(self.output).to_vec()))
+    }
+
+    /// Runs and returns the output buffer (for correctness checks).
+    ///
+    /// # Errors
+    ///
+    /// VM runtime errors.
+    pub fn run_output(&self) -> loopvm::Result<Vec<f32>> {
+        Ok(self.run_wall()?.1)
+    }
+}
+
+/// Fills a buffer with reproducible pseudo-random values in `[0, 1)`.
+pub fn fill_buffer(buf: &mut [f32], seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for v in buf.iter_mut() {
+        *v = rng.gen::<f32>();
+    }
+}
+
+/// Asserts two float slices agree within `tol` (helper for variant
+/// cross-checks).
+///
+/// # Panics
+///
+/// Panics with the first mismatching index on disagreement.
+pub fn assert_close(got: &[f32], expect: &[f32], tol: f32) {
+    assert_eq!(got.len(), expect.len(), "length mismatch");
+    for (i, (g, e)) in got.iter().zip(expect).enumerate() {
+        assert!(
+            (g - e).abs() <= tol * (1.0 + e.abs()),
+            "mismatch at {i}: got {g}, expected {e}"
+        );
+    }
+}

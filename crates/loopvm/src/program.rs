@@ -1,0 +1,316 @@
+//! Program structure: buffers, statements, loop annotations.
+
+use crate::expr::{Expr, Var};
+
+/// Identifier of a flat `f32` buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufId(pub(crate) u32);
+
+impl BufId {
+    /// The raw buffer table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// How a loop maps to hardware — the lowered form of the paper's space
+/// tags (`cpu`, `vec(s)`, `unroll`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopKind {
+    /// Ordinary sequential loop.
+    Serial,
+    /// Iterations distributed over OS threads (the `cpu` tag /
+    /// `parallelize()` command).
+    Parallel,
+    /// Iterations evaluated in lanes (the `vec(s)` tag / `vectorize()`),
+    /// with the requested vector width.
+    Vectorize(usize),
+    /// Unrolled by the given factor (the `unroll` tag); the VM executes it
+    /// with the loop-overhead-free pre-expanded path when possible.
+    Unroll(usize),
+}
+
+/// A statement of the VM program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `for var in lower..upper { body }` (upper exclusive).
+    For {
+        /// Loop variable slot.
+        var: Var,
+        /// Inclusive lower bound (`i64` expression).
+        lower: Expr,
+        /// Exclusive upper bound (`i64` expression).
+        upper: Expr,
+        /// Hardware mapping.
+        kind: LoopKind,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `if cond { then } else { else_ }` — `cond` is an `i64` predicate.
+    If {
+        /// Predicate.
+        cond: Expr,
+        /// Taken branch.
+        then: Vec<Stmt>,
+        /// Fallback branch.
+        else_: Vec<Stmt>,
+    },
+    /// `buf[index] = value`.
+    Store {
+        /// Destination buffer.
+        buf: BufId,
+        /// Flat element index (`i64`).
+        index: Expr,
+        /// Stored value (`f32`).
+        value: Expr,
+    },
+    /// Binds a scalar `i64` variable for the remainder of the block.
+    Let {
+        /// Destination slot.
+        var: Var,
+        /// Bound value (`i64`).
+        value: Expr,
+    },
+}
+
+impl Stmt {
+    /// Convenience constructor for a loop.
+    pub fn for_(var: Var, lower: Expr, upper: Expr, kind: LoopKind, body: Vec<Stmt>) -> Stmt {
+        Stmt::For { var, lower, upper, kind, body }
+    }
+
+    /// Convenience constructor for a serial loop.
+    pub fn serial(var: Var, lower: Expr, upper: Expr, body: Vec<Stmt>) -> Stmt {
+        Stmt::For { var, lower, upper, kind: LoopKind::Serial, body }
+    }
+
+    /// Convenience constructor for a store.
+    pub fn store(buf: BufId, index: Expr, value: Expr) -> Stmt {
+        Stmt::Store { buf, index, value }
+    }
+
+    /// Convenience constructor for a conditional without else.
+    pub fn if_then(cond: Expr, then: Vec<Stmt>) -> Stmt {
+        Stmt::If { cond, then, else_: Vec::new() }
+    }
+
+    /// Convenience constructor for a let binding.
+    pub fn let_(var: Var, value: Expr) -> Stmt {
+        Stmt::Let { var, value }
+    }
+}
+
+/// A complete VM program: buffer table, variable slots, statement list.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    pub(crate) buffers: Vec<(String, usize)>,
+    pub(crate) vars: Vec<String>,
+    /// Top-level statements, executed in order.
+    pub body: Vec<Stmt>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Declares a buffer of `size` `f32` elements.
+    pub fn buffer(&mut self, name: &str, size: usize) -> BufId {
+        self.buffers.push((name.to_string(), size));
+        BufId((self.buffers.len() - 1) as u32)
+    }
+
+    /// Declares a scalar variable slot.
+    pub fn var(&mut self, name: &str) -> Var {
+        self.vars.push(name.to_string());
+        Var((self.vars.len() - 1) as u32)
+    }
+
+    /// Appends a top-level statement.
+    pub fn push(&mut self, s: Stmt) {
+        self.body.push(s);
+    }
+
+    /// Number of declared buffers.
+    pub fn n_buffers(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// Number of declared scalar slots.
+    pub fn n_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Name and size of a buffer.
+    pub fn buffer_info(&self, b: BufId) -> (&str, usize) {
+        let (n, s) = &self.buffers[b.index()];
+        (n, *s)
+    }
+
+    /// The `i`-th declared buffer (declaration order).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn nth_buffer(&self, i: usize) -> BufId {
+        assert!(i < self.buffers.len(), "buffer index {i} out of range");
+        BufId(i as u32)
+    }
+
+    /// Looks up a buffer by name.
+    pub fn buffer_by_name(&self, name: &str) -> Option<BufId> {
+        self.buffers.iter().position(|(n, _)| n == name).map(|i| BufId(i as u32))
+    }
+
+    /// Pretty-prints the program as pseudo-C (for tests and docs).
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        for s in &self.body {
+            self.pretty_stmt(s, 0, &mut out);
+        }
+        out
+    }
+
+    fn pretty_stmt(&self, s: &Stmt, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        match s {
+            Stmt::For { var, lower, upper, kind, body } => {
+                let tag = match kind {
+                    LoopKind::Serial => "",
+                    LoopKind::Parallel => "parallel ",
+                    LoopKind::Vectorize(w) => {
+                        out.push_str(&format!("{pad}// vectorize x{w}\n"));
+                        ""
+                    }
+                    LoopKind::Unroll(u) => {
+                        out.push_str(&format!("{pad}// unroll x{u}\n"));
+                        ""
+                    }
+                };
+                out.push_str(&format!(
+                    "{pad}{tag}for ({} = {}; {} < {}; {}++) {{\n",
+                    self.vars[var.index()],
+                    self.pretty_expr(lower),
+                    self.vars[var.index()],
+                    self.pretty_expr(upper),
+                    self.vars[var.index()],
+                ));
+                for b in body {
+                    self.pretty_stmt(b, indent + 1, out);
+                }
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            Stmt::If { cond, then, else_ } => {
+                out.push_str(&format!("{pad}if ({}) {{\n", self.pretty_expr(cond)));
+                for b in then {
+                    self.pretty_stmt(b, indent + 1, out);
+                }
+                if !else_.is_empty() {
+                    out.push_str(&format!("{pad}}} else {{\n"));
+                    for b in else_ {
+                        self.pretty_stmt(b, indent + 1, out);
+                    }
+                }
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            Stmt::Store { buf, index, value } => {
+                out.push_str(&format!(
+                    "{pad}{}[{}] = {};\n",
+                    self.buffers[buf.index()].0,
+                    self.pretty_expr(index),
+                    self.pretty_expr(value)
+                ));
+            }
+            Stmt::Let { var, value } => {
+                out.push_str(&format!(
+                    "{pad}let {} = {};\n",
+                    self.vars[var.index()],
+                    self.pretty_expr(value)
+                ));
+            }
+        }
+    }
+
+    fn pretty_expr(&self, e: &Expr) -> String {
+        use crate::expr::{BinOp, UnOp};
+        match e {
+            Expr::ConstF(v) => format!("{v}"),
+            Expr::ConstI(v) => format!("{v}"),
+            Expr::Var(v) => self.vars[v.index()].clone(),
+            Expr::Load(b, i) => {
+                format!("{}[{}]", self.buffers[b.index()].0, self.pretty_expr(i))
+            }
+            Expr::Bin(op, a, b) => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Rem => "%",
+                    BinOp::Min => return format!("min({}, {})", self.pretty_expr(a), self.pretty_expr(b)),
+                    BinOp::Max => return format!("max({}, {})", self.pretty_expr(a), self.pretty_expr(b)),
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::EqCmp => "==",
+                    BinOp::And => "&&",
+                    BinOp::Or => "||",
+                };
+                format!("({} {} {})", self.pretty_expr(a), sym, self.pretty_expr(b))
+            }
+            Expr::Un(op, a) => {
+                let name = match op {
+                    UnOp::Neg => "-",
+                    UnOp::Abs => "abs",
+                    UnOp::Sqrt => "sqrt",
+                    UnOp::Exp => "exp",
+                    UnOp::Not => "!",
+                };
+                format!("{name}({})", self.pretty_expr(a))
+            }
+            Expr::Select(c, a, b) => format!(
+                "({} ? {} : {})",
+                self.pretty_expr(c),
+                self.pretty_expr(a),
+                self.pretty_expr(b)
+            ),
+            Expr::Cast(t, a) => format!("({t:?})({})", self.pretty_expr(a)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    #[test]
+    fn builder_assigns_ids() {
+        let mut p = Program::new();
+        let a = p.buffer("A", 10);
+        let b = p.buffer("B", 20);
+        assert_ne!(a, b);
+        assert_eq!(p.buffer_info(b), ("B", 20));
+        assert_eq!(p.buffer_by_name("A"), Some(a));
+        assert_eq!(p.buffer_by_name("zzz"), None);
+        let i = p.var("i");
+        let j = p.var("j");
+        assert_ne!(i, j);
+    }
+
+    #[test]
+    fn pretty_prints_loops() {
+        let mut p = Program::new();
+        let a = p.buffer("A", 10);
+        let i = p.var("i");
+        p.push(Stmt::serial(
+            i,
+            Expr::i64(0),
+            Expr::i64(10),
+            vec![Stmt::store(a, Expr::var(i), Expr::f32(1.0))],
+        ));
+        let text = p.pretty();
+        assert!(text.contains("for (i = 0; i < 10; i++)"));
+        assert!(text.contains("A[i] = 1;"));
+    }
+}

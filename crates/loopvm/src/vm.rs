@@ -1,0 +1,1298 @@
+//! The virtual machine: bytecode compilation and execution.
+//!
+//! Expressions are compiled once into a stack bytecode; loops interpret it.
+//! Three execution paths give the substrate its performance texture:
+//!
+//! - **serial**: straightforward interpretation,
+//! - **parallel** ([`LoopKind::Parallel`]): the iteration range is split
+//!   across OS threads (crossbeam scoped threads) — buffers are shared;
+//!   legality (no cross-iteration dependences) is the *compiler's*
+//!   responsibility, exactly as with real parallel codegen,
+//! - **vector** ([`LoopKind::Vectorize`]): the body is evaluated over
+//!   lanes of [`LANES`] iterations at once, amortizing interpreter dispatch
+//!   the way SIMD amortizes instruction issue.
+
+use crate::cost::{CacheSim, CostModel};
+use crate::expr::{BinOp, Expr, Ty, UnOp};
+use crate::program::{BufId, LoopKind, Program, Stmt};
+use crate::{Error, Result};
+use std::cell::UnsafeCell;
+
+/// Vector lane width of the VM (iterations evaluated per dispatch in
+/// vectorized loops).
+pub const LANES: usize = 8;
+
+/// Execution statistics gathered by [`Machine::run_with_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunStats {
+    /// Innermost statement executions.
+    pub stores: u64,
+    /// Buffer element reads.
+    pub loads: u64,
+    /// Floating-point binary operations.
+    pub flops: u64,
+    /// Loop iterations entered (all levels).
+    pub iterations: u64,
+    /// Modeled execution cycles under the machine's [`CostModel`]:
+    /// arithmetic dispatch + cache-simulated memory costs, with `parallel`
+    /// loop bodies divided by the modeled core count and vector operations
+    /// amortized per lane group.
+    pub cycles: f64,
+    /// L1 misses observed by the cache simulator.
+    pub l1_misses: u64,
+    /// L2 misses observed by the cache simulator.
+    pub l2_misses: u64,
+}
+
+impl RunStats {
+    fn add(&mut self, o: &RunStats) {
+        self.stores += o.stores;
+        self.loads += o.loads;
+        self.flops += o.flops;
+        self.iterations += o.iterations;
+        self.cycles += o.cycles;
+        self.l1_misses += o.l1_misses;
+        self.l2_misses += o.l2_misses;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bytecode
+// ---------------------------------------------------------------------------
+
+/// One bytecode operation (public so device simulators building on the
+/// same expression language — e.g. the GPU SIMT simulator — can interpret
+/// compiled expressions with their own execution semantics).
+#[derive(Debug, Clone, Copy)]
+pub enum Op {
+    /// Push an `f32` constant.
+    PushF(f32),
+    /// Push an `i64` constant.
+    PushI(i64),
+    /// Push the value of a variable slot.
+    LoadVar(u32),
+    /// Pop an index, push `buffer[index]`.
+    Load(u32),
+    /// `f32` binary operation.
+    BinF(BinOp),
+    /// `i64` binary operation.
+    BinI(BinOp),
+    /// `f32` comparison (pushes `i64` 0/1).
+    CmpF(BinOp),
+    /// `i64` comparison (pushes `i64` 0/1).
+    CmpI(BinOp),
+    /// `f32` unary operation.
+    UnF(UnOp),
+    /// `i64` unary operation.
+    UnI(UnOp),
+    /// `f32` select (pops b, a, cond).
+    SelF,
+    /// `i64` select.
+    SelI,
+    /// Cast `i64` → `f32`.
+    CastIF,
+    /// Cast `f32` → `i64`.
+    CastFI,
+}
+
+/// A compiled expression: a flat operation sequence plus its result type.
+#[derive(Debug, Clone)]
+pub struct Code {
+    /// The operations, in evaluation order.
+    pub ops: Vec<Op>,
+    /// Result type.
+    pub ty: Ty,
+}
+
+/// Compiles an expression tree into stack bytecode.
+///
+/// # Errors
+///
+/// [`Error::Type`] on operand mismatches.
+pub fn compile(e: &Expr) -> Result<Code> {
+    let mut ops = Vec::new();
+    let ty = compile_into(e, &mut ops)?;
+    Ok(Code { ops, ty })
+}
+
+fn compile_into(e: &Expr, ops: &mut Vec<Op>) -> Result<Ty> {
+    match e {
+        Expr::ConstF(v) => {
+            ops.push(Op::PushF(*v));
+            Ok(Ty::F32)
+        }
+        Expr::ConstI(v) => {
+            ops.push(Op::PushI(*v));
+            Ok(Ty::I64)
+        }
+        Expr::Var(v) => {
+            ops.push(Op::LoadVar(v.0));
+            Ok(Ty::I64)
+        }
+        Expr::Load(b, idx) => {
+            let t = compile_into(idx, ops)?;
+            if t != Ty::I64 {
+                return Err(Error::Type("load index must be i64".into()));
+            }
+            ops.push(Op::Load(b.0));
+            Ok(Ty::F32)
+        }
+        Expr::Bin(op, a, b) => {
+            let ta = compile_into(a, ops)?;
+            let tb = compile_into(b, ops)?;
+            if ta != tb {
+                return Err(Error::Type(format!("operands of {op:?} disagree")));
+            }
+            match op {
+                BinOp::Lt | BinOp::Le | BinOp::EqCmp => {
+                    ops.push(if ta == Ty::F32 { Op::CmpF(*op) } else { Op::CmpI(*op) });
+                    Ok(Ty::I64)
+                }
+                BinOp::And | BinOp::Or => {
+                    if ta != Ty::I64 {
+                        return Err(Error::Type("logical ops need i64".into()));
+                    }
+                    ops.push(Op::BinI(*op));
+                    Ok(Ty::I64)
+                }
+                _ => {
+                    ops.push(if ta == Ty::F32 { Op::BinF(*op) } else { Op::BinI(*op) });
+                    Ok(ta)
+                }
+            }
+        }
+        Expr::Un(op, a) => {
+            let t = compile_into(a, ops)?;
+            match (op, t) {
+                (UnOp::Sqrt | UnOp::Exp, Ty::I64) => {
+                    Err(Error::Type(format!("{op:?} needs f32")))
+                }
+                (UnOp::Not, Ty::F32) => Err(Error::Type("not needs i64".into())),
+                (_, Ty::F32) => {
+                    ops.push(Op::UnF(*op));
+                    Ok(Ty::F32)
+                }
+                (_, Ty::I64) => {
+                    ops.push(Op::UnI(*op));
+                    Ok(Ty::I64)
+                }
+            }
+        }
+        Expr::Select(c, a, b) => {
+            let tc = compile_into(c, ops)?;
+            if tc != Ty::I64 {
+                return Err(Error::Type("select condition must be i64".into()));
+            }
+            let ta = compile_into(a, ops)?;
+            let tb = compile_into(b, ops)?;
+            if ta != tb {
+                return Err(Error::Type("select arms disagree".into()));
+            }
+            ops.push(if ta == Ty::F32 { Op::SelF } else { Op::SelI });
+            Ok(ta)
+        }
+        Expr::Cast(t, a) => {
+            let ta = compile_into(a, ops)?;
+            match (ta, t) {
+                (Ty::I64, Ty::F32) => ops.push(Op::CastIF),
+                (Ty::F32, Ty::I64) => ops.push(Op::CastFI),
+                _ => {}
+            }
+            Ok(*t)
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum CStmt {
+    For { var: u32, lower: Code, upper: Code, kind: LoopKind, body: Vec<CStmt> },
+    If { cond: Code, then: Vec<CStmt>, else_: Vec<CStmt> },
+    Store { buf: u32, index: Code, value: Code },
+    Let { var: u32, value: Code },
+}
+
+fn compile_stmt(s: &Stmt) -> Result<CStmt> {
+    Ok(match s {
+        Stmt::For { var, lower, upper, kind, body } => CStmt::For {
+            var: var.0,
+            lower: compile(lower)?,
+            upper: compile(upper)?,
+            kind: *kind,
+            body: body.iter().map(compile_stmt).collect::<Result<_>>()?,
+        },
+        Stmt::If { cond, then, else_ } => CStmt::If {
+            cond: compile(cond)?,
+            then: then.iter().map(compile_stmt).collect::<Result<_>>()?,
+            else_: else_.iter().map(compile_stmt).collect::<Result<_>>()?,
+        },
+        Stmt::Store { buf, index, value } => {
+            let index = compile(index)?;
+            let value = compile(value)?;
+            if index.ty != Ty::I64 {
+                return Err(Error::Type("store index must be i64".into()));
+            }
+            if value.ty != Ty::F32 {
+                return Err(Error::Type("store value must be f32".into()));
+            }
+            CStmt::Store { buf: buf.0, index, value }
+        }
+        Stmt::Let { var, value } => {
+            let value = compile(value)?;
+            if value.ty != Ty::I64 {
+                return Err(Error::Type("let binds i64 values".into()));
+            }
+            CStmt::Let { var: var.0, value }
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Buffers (shared across worker threads)
+// ---------------------------------------------------------------------------
+
+struct SharedBuf {
+    name: String,
+    data: UnsafeCell<Box<[f32]>>,
+}
+
+// SAFETY: buffers are raced only inside `Parallel` loops; the compilers
+// targeting this VM are responsible for parallelizing only dependence-free
+// loops, exactly as with native codegen. Disjoint iterations touch disjoint
+// elements; simultaneous writes to one element would be a compiler bug, the
+// same class of bug that native OpenMP codegen would exhibit.
+unsafe impl Sync for SharedBuf {}
+
+impl SharedBuf {
+    #[inline]
+    fn get(&self, idx: i64) -> Result<f32> {
+        let data = unsafe { &*self.data.get() };
+        if idx < 0 || idx as usize >= data.len() {
+            return Err(Error::OutOfBounds {
+                buffer: self.name.clone(),
+                index: idx,
+                size: data.len(),
+            });
+        }
+        Ok(unsafe { *data.get_unchecked(idx as usize) })
+    }
+
+    #[inline]
+    fn set(&self, idx: i64, v: f32) -> Result<()> {
+        let data = unsafe { &mut *self.data.get() };
+        if idx < 0 || idx as usize >= data.len() {
+            return Err(Error::OutOfBounds {
+                buffer: self.name.clone(),
+                index: idx,
+                size: data.len(),
+            });
+        }
+        unsafe {
+            *data.get_unchecked_mut(idx as usize) = v;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Machine
+// ---------------------------------------------------------------------------
+
+/// An execution machine holding the buffer storage for a [`Program`].
+pub struct Machine {
+    bufs: Vec<SharedBuf>,
+    threads: usize,
+    cost: CostModel,
+    bases: Vec<u64>,
+}
+
+struct ExecCtx<'a> {
+    bufs: &'a [SharedBuf],
+    bases: &'a [u64],
+    threads: usize,
+    frame: Vec<i64>,
+    istack: Vec<i64>,
+    fstack: Vec<f32>,
+    vistack: Vec<[i64; LANES]>,
+    vfstack: Vec<[f32; LANES]>,
+    stats: RunStats,
+    cache: CacheSim,
+    /// Depth of enclosing parallel loops (cycles are divided by the
+    /// modeled core count only at the outermost one).
+    parallel_depth: u32,
+}
+
+impl Machine {
+    /// Allocates zero-initialized storage for every buffer of `p`.
+    pub fn new(p: &Program) -> Machine {
+        let bufs: Vec<SharedBuf> = p
+            .buffers
+            .iter()
+            .map(|(name, size)| SharedBuf {
+                name: name.clone(),
+                data: UnsafeCell::new(vec![0.0f32; *size].into_boxed_slice()),
+            })
+            .collect();
+        // Distinct, line-aligned modeled base addresses per buffer.
+        let mut bases = Vec::with_capacity(bufs.len());
+        let mut next: u64 = 0;
+        for (_, size) in &p.buffers {
+            bases.push(next);
+            next += ((*size as u64 * 4).div_ceil(64) + 1) * 64;
+        }
+        Machine { bufs, threads: default_threads(), cost: CostModel::default(), bases }
+    }
+
+    /// Sets the cost model used by [`Machine::run_with_stats`].
+    pub fn set_cost_model(&mut self, cost: CostModel) {
+        self.cost = cost;
+    }
+
+    /// The current cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Overrides the worker thread count used by parallel loops.
+    pub fn set_threads(&mut self, n: usize) {
+        self.threads = n.max(1);
+    }
+
+    /// Read access to a buffer's storage.
+    pub fn buffer(&self, b: BufId) -> &[f32] {
+        unsafe { &*self.bufs[b.index()].data.get() }
+    }
+
+    /// Mutable access to a buffer's storage (e.g. to set inputs).
+    pub fn buffer_mut(&mut self, b: BufId) -> &mut [f32] {
+        unsafe { &mut *self.bufs[b.index()].data.get() }
+    }
+
+    /// Runs the program.
+    ///
+    /// # Errors
+    ///
+    /// Type errors at bytecode compilation and out-of-bounds accesses at
+    /// runtime.
+    pub fn run(&mut self, p: &Program) -> Result<()> {
+        self.run_inner::<false>(p).map(|_| ())
+    }
+
+    /// Runs the program, gathering [`RunStats`] (slower; for tests, cost
+    /// models and the benchmark harness's operation counts).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::run`].
+    pub fn run_with_stats(&mut self, p: &Program) -> Result<RunStats> {
+        self.run_inner::<true>(p)
+    }
+
+    /// Runs an arbitrary statement list against this machine's storage
+    /// (used by runtimes that interleave computation with other operations,
+    /// e.g. the distributed simulator's send/receive).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::run`].
+    pub fn run_body(&mut self, p: &Program, body: &[Stmt]) -> Result<RunStats> {
+        self.run_body_inner::<false>(p, body)
+    }
+
+    /// [`Machine::run_body`] with statistics gathering.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::run`].
+    pub fn run_body_with_stats(&mut self, p: &Program, body: &[Stmt]) -> Result<RunStats> {
+        self.run_body_inner::<true>(p, body)
+    }
+
+    fn run_body_inner<const STATS: bool>(&mut self, p: &Program, body: &[Stmt]) -> Result<RunStats> {
+        let compiled: Vec<CStmt> = body.iter().map(compile_stmt).collect::<Result<_>>()?;
+        let mut ctx = ExecCtx {
+            bufs: &self.bufs,
+            bases: &self.bases,
+            threads: self.threads,
+            frame: vec![0i64; p.n_vars()],
+            istack: Vec::with_capacity(16),
+            fstack: Vec::with_capacity(16),
+            vistack: Vec::with_capacity(16),
+            vfstack: Vec::with_capacity(16),
+            stats: RunStats::default(),
+            cache: CacheSim::new(self.cost),
+            parallel_depth: 0,
+        };
+        exec_block::<STATS>(&compiled, &mut ctx)?;
+        ctx.stats.l1_misses = ctx.cache.l1_misses;
+        ctx.stats.l2_misses = ctx.cache.l2_misses;
+        Ok(ctx.stats)
+    }
+
+    fn run_inner<const STATS: bool>(&mut self, p: &Program) -> Result<RunStats> {
+        let compiled: Vec<CStmt> = p.body.iter().map(compile_stmt).collect::<Result<_>>()?;
+        let mut ctx = ExecCtx {
+            bufs: &self.bufs,
+            bases: &self.bases,
+            threads: self.threads,
+            frame: vec![0i64; p.n_vars()],
+            istack: Vec::with_capacity(16),
+            fstack: Vec::with_capacity(16),
+            vistack: Vec::with_capacity(16),
+            vfstack: Vec::with_capacity(16),
+            stats: RunStats::default(),
+            cache: CacheSim::new(self.cost),
+            parallel_depth: 0,
+        };
+        exec_block::<STATS>(&compiled, &mut ctx)?;
+        ctx.stats.l1_misses = ctx.cache.l1_misses;
+        ctx.stats.l2_misses = ctx.cache.l2_misses;
+        Ok(ctx.stats)
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+// ---------------------------------------------------------------------------
+// Scalar execution
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn eval<const STATS: bool>(code: &Code, ctx: &mut ExecCtx<'_>) -> Result<()> {
+    ctx.istack.clear();
+    ctx.fstack.clear();
+    eval_keep::<STATS>(code, ctx)
+}
+
+/// Evaluates without clearing the stacks (caller manages stack discipline).
+fn eval_keep<const STATS: bool>(code: &Code, ctx: &mut ExecCtx<'_>) -> Result<()> {
+    for op in &code.ops {
+        match *op {
+            Op::PushF(v) => ctx.fstack.push(v),
+            Op::PushI(v) => ctx.istack.push(v),
+            Op::LoadVar(v) => ctx.istack.push(ctx.frame[v as usize]),
+            Op::Load(b) => {
+                let idx = ctx.istack.pop().unwrap();
+                let v = ctx.bufs[b as usize].get(idx)?;
+                if STATS {
+                    ctx.stats.loads += 1;
+                    let addr = ctx.bases[b as usize] + (idx as u64) * 4;
+                    ctx.stats.cycles += ctx.cache.access(addr);
+                }
+                ctx.fstack.push(v);
+            }
+            Op::BinF(op) => {
+                let b = ctx.fstack.pop().unwrap();
+                let a = ctx.fstack.pop().unwrap();
+                if STATS {
+                    ctx.stats.flops += 1;
+                    ctx.stats.cycles += ctx.cache.model().alu;
+                }
+                ctx.fstack.push(apply_f(op, a, b));
+            }
+            Op::BinI(op) => {
+                let b = ctx.istack.pop().unwrap();
+                let a = ctx.istack.pop().unwrap();
+                if STATS {
+                    ctx.stats.cycles += ctx.cache.model().alu;
+                }
+                ctx.istack.push(apply_i(op, a, b));
+            }
+            Op::CmpF(op) => {
+                let b = ctx.fstack.pop().unwrap();
+                let a = ctx.fstack.pop().unwrap();
+                ctx.istack.push(cmp_f(op, a, b));
+            }
+            Op::CmpI(op) => {
+                let b = ctx.istack.pop().unwrap();
+                let a = ctx.istack.pop().unwrap();
+                ctx.istack.push(cmp_i(op, a, b));
+            }
+            Op::UnF(op) => {
+                let a = ctx.fstack.pop().unwrap();
+                ctx.fstack.push(apply_un_f(op, a));
+            }
+            Op::UnI(op) => {
+                let a = ctx.istack.pop().unwrap();
+                ctx.istack.push(apply_un_i(op, a));
+            }
+            Op::SelF => {
+                let b = ctx.fstack.pop().unwrap();
+                let a = ctx.fstack.pop().unwrap();
+                let c = ctx.istack.pop().unwrap();
+                ctx.fstack.push(if c != 0 { a } else { b });
+            }
+            Op::SelI => {
+                let b = ctx.istack.pop().unwrap();
+                let a = ctx.istack.pop().unwrap();
+                let c = ctx.istack.pop().unwrap();
+                ctx.istack.push(if c != 0 { a } else { b });
+            }
+            Op::CastIF => {
+                let a = ctx.istack.pop().unwrap();
+                ctx.fstack.push(a as f32);
+            }
+            Op::CastFI => {
+                let a = ctx.fstack.pop().unwrap();
+                ctx.istack.push(a as i64);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[inline(always)]
+/// Applies an `f32` binary operation (shared with device simulators).
+pub fn apply_f(op: BinOp, a: f32, b: f32) -> f32 {
+    match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => a / b,
+        BinOp::Rem => a % b,
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+        _ => unreachable!("comparison handled elsewhere"),
+    }
+}
+
+#[inline(always)]
+/// Applies an `i64` binary operation.
+pub fn apply_i(op: BinOp, a: i64, b: i64) -> i64 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => a.div_euclid(b),
+        BinOp::Rem => a.rem_euclid(b),
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+        BinOp::And => ((a != 0) && (b != 0)) as i64,
+        BinOp::Or => ((a != 0) || (b != 0)) as i64,
+        _ => unreachable!("comparison handled elsewhere"),
+    }
+}
+
+#[inline(always)]
+/// `f32` comparison yielding 0/1.
+pub fn cmp_f(op: BinOp, a: f32, b: f32) -> i64 {
+    (match op {
+        BinOp::Lt => a < b,
+        BinOp::Le => a <= b,
+        BinOp::EqCmp => a == b,
+        _ => unreachable!(),
+    }) as i64
+}
+
+#[inline(always)]
+/// `i64` comparison yielding 0/1.
+pub fn cmp_i(op: BinOp, a: i64, b: i64) -> i64 {
+    (match op {
+        BinOp::Lt => a < b,
+        BinOp::Le => a <= b,
+        BinOp::EqCmp => a == b,
+        _ => unreachable!(),
+    }) as i64
+}
+
+#[inline(always)]
+/// Applies an `f32` unary operation.
+pub fn apply_un_f(op: UnOp, a: f32) -> f32 {
+    match op {
+        UnOp::Neg => -a,
+        UnOp::Abs => a.abs(),
+        UnOp::Sqrt => a.sqrt(),
+        UnOp::Exp => a.exp(),
+        UnOp::Not => unreachable!(),
+    }
+}
+
+#[inline(always)]
+/// Applies an `i64` unary operation.
+pub fn apply_un_i(op: UnOp, a: i64) -> i64 {
+    match op {
+        UnOp::Neg => -a,
+        UnOp::Abs => a.abs(),
+        UnOp::Not => (a == 0) as i64,
+        UnOp::Sqrt | UnOp::Exp => unreachable!(),
+    }
+}
+
+fn exec_block<const STATS: bool>(body: &[CStmt], ctx: &mut ExecCtx<'_>) -> Result<()> {
+    for s in body {
+        exec_stmt::<STATS>(s, ctx)?;
+    }
+    Ok(())
+}
+
+fn eval_i64<const STATS: bool>(code: &Code, ctx: &mut ExecCtx<'_>) -> Result<i64> {
+    eval::<STATS>(code, ctx)?;
+    Ok(ctx.istack.pop().unwrap())
+}
+
+fn exec_stmt<const STATS: bool>(s: &CStmt, ctx: &mut ExecCtx<'_>) -> Result<()> {
+    match s {
+        CStmt::Let { var, value } => {
+            let v = eval_i64::<STATS>(value, ctx)?;
+            ctx.frame[*var as usize] = v;
+            Ok(())
+        }
+        CStmt::Store { buf, index, value } => {
+            let idx = eval_i64::<STATS>(index, ctx)?;
+            eval::<STATS>(value, ctx)?;
+            let v = ctx.fstack.pop().unwrap();
+            if STATS {
+                ctx.stats.stores += 1;
+                let addr = ctx.bases[*buf as usize] + (idx as u64) * 4;
+                ctx.stats.cycles += ctx.cache.access(addr);
+            }
+            ctx.bufs[*buf as usize].set(idx, v)
+        }
+        CStmt::If { cond, then, else_ } => {
+            let c = eval_i64::<STATS>(cond, ctx)?;
+            if c != 0 {
+                exec_block::<STATS>(then, ctx)
+            } else {
+                exec_block::<STATS>(else_, ctx)
+            }
+        }
+        CStmt::For { var, lower, upper, kind, body } => {
+            let lo = eval_i64::<STATS>(lower, ctx)?;
+            let hi = eval_i64::<STATS>(upper, ctx)?;
+            match kind {
+                LoopKind::Parallel if STATS => {
+                    // Stats path: run serially (deterministic cache
+                    // simulation), then credit the modeled core count to
+                    // the outermost parallel loop's body cycles.
+                    let before = ctx.stats.cycles;
+                    ctx.parallel_depth += 1;
+                    for v in lo..hi {
+                        ctx.frame[*var as usize] = v;
+                        ctx.stats.iterations += 1;
+                        exec_block::<STATS>(body, ctx)?;
+                    }
+                    ctx.parallel_depth -= 1;
+                    if ctx.parallel_depth == 0 {
+                        let d = (ctx.cache.model().cores as i64).min((hi - lo).max(1)) as f64;
+                        let region = ctx.stats.cycles - before;
+                        ctx.stats.cycles = before + region / d;
+                    }
+                    Ok(())
+                }
+                LoopKind::Parallel if ctx.threads > 1 && hi - lo > 1 => {
+                    exec_parallel::<STATS>(*var, lo, hi, body, ctx)
+                }
+                LoopKind::Vectorize(_) if body_vectorizable(body) => {
+                    exec_vector::<STATS>(*var, lo, hi, body, ctx)
+                }
+                _ => {
+                    for v in lo..hi {
+                        ctx.frame[*var as usize] = v;
+                        if STATS {
+                            ctx.stats.iterations += 1;
+                        }
+                        exec_block::<STATS>(body, ctx)?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel execution
+// ---------------------------------------------------------------------------
+
+fn exec_parallel<const STATS: bool>(
+    var: u32,
+    lo: i64,
+    hi: i64,
+    body: &[CStmt],
+    ctx: &mut ExecCtx<'_>,
+) -> Result<()> {
+    let n = (hi - lo) as usize;
+    let workers = ctx.threads.min(n.max(1));
+    let chunk = n.div_ceil(workers);
+    let bufs = ctx.bufs;
+    let bases = ctx.bases;
+    let model = *ctx.cache.model();
+    let frame_proto = ctx.frame.clone();
+    let threads = ctx.threads;
+    let results = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let start = lo + (w * chunk) as i64;
+            let end = (lo + ((w + 1) * chunk) as i64).min(hi);
+            if start >= end {
+                continue;
+            }
+            let frame = frame_proto.clone();
+            handles.push(scope.spawn(move |_| -> Result<RunStats> {
+                let mut sub = ExecCtx {
+                    bufs,
+                    bases,
+                    // Nested parallel loops run serially inside a worker.
+                    threads: 1,
+                    frame,
+                    istack: Vec::with_capacity(16),
+                    fstack: Vec::with_capacity(16),
+                    vistack: Vec::with_capacity(16),
+                    vfstack: Vec::with_capacity(16),
+                    stats: RunStats::default(),
+                    cache: CacheSim::new(model),
+                    parallel_depth: 1,
+                };
+                let _ = threads;
+                for v in start..end {
+                    sub.frame[var as usize] = v;
+                    if STATS {
+                        sub.stats.iterations += 1;
+                    }
+                    exec_block::<STATS>(body, &mut sub)?;
+                }
+                Ok(sub.stats)
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect::<Vec<_>>()
+    })
+    .expect("thread scope failed");
+    for r in results {
+        let s = r?;
+        if STATS {
+            ctx.stats.add(&s);
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Vector execution
+// ---------------------------------------------------------------------------
+
+/// A body is lane-executable when it contains only stores and lets (the
+/// shape produced by vectorizing an innermost loop).
+fn body_vectorizable(body: &[CStmt]) -> bool {
+    body.iter().all(|s| matches!(s, CStmt::Store { .. } | CStmt::Let { .. }))
+}
+
+fn exec_vector<const STATS: bool>(
+    var: u32,
+    lo: i64,
+    hi: i64,
+    body: &[CStmt],
+    ctx: &mut ExecCtx<'_>,
+) -> Result<()> {
+    let mut v = lo;
+    while v + (LANES as i64) <= hi {
+        if STATS {
+            ctx.stats.iterations += LANES as u64;
+        }
+        exec_vector_chunk::<STATS>(var, v, body, ctx)?;
+        v += LANES as i64;
+    }
+    // Scalar remainder.
+    while v < hi {
+        ctx.frame[var as usize] = v;
+        if STATS {
+            ctx.stats.iterations += 1;
+        }
+        exec_block::<STATS>(body, ctx)?;
+        v += 1;
+    }
+    Ok(())
+}
+
+/// Per-lane variable overlays: the vector frame is the scalar frame plus a
+/// lane-varying overlay for the vector var and vector lets.
+fn exec_vector_chunk<const STATS: bool>(
+    var: u32,
+    base: i64,
+    body: &[CStmt],
+    ctx: &mut ExecCtx<'_>,
+) -> Result<()> {
+    // Lane-varying slots: map var slot -> [i64; LANES].
+    let mut overlay: Vec<(u32, [i64; LANES])> = Vec::with_capacity(4);
+    let mut lanes = [0i64; LANES];
+    for (l, lane) in lanes.iter_mut().enumerate() {
+        *lane = base + l as i64;
+    }
+    overlay.push((var, lanes));
+    for s in body {
+        match s {
+            CStmt::Let { var, value } => {
+                let mut out = [0i64; LANES];
+                veval_i::<STATS>(value, ctx, &overlay, &mut out)?;
+                overlay.retain(|(v, _)| v != var);
+                overlay.push((*var, out));
+            }
+            CStmt::Store { buf, index, value } => {
+                let mut idx = [0i64; LANES];
+                veval_i::<STATS>(index, ctx, &overlay, &mut idx)?;
+                let mut val = [0f32; LANES];
+                veval_f::<STATS>(value, ctx, &overlay, &mut val)?;
+                if STATS {
+                    ctx.stats.stores += LANES as u64;
+                    ctx.stats.cycles += vector_mem_cost(ctx, *buf, &idx);
+                }
+                let b = &ctx.bufs[*buf as usize];
+                for l in 0..LANES {
+                    b.set(idx[l], val[l])?;
+                }
+            }
+            _ => unreachable!("checked by body_vectorizable"),
+        }
+    }
+    Ok(())
+}
+
+fn veval_i<const STATS: bool>(
+    code: &Code,
+    ctx: &mut ExecCtx<'_>,
+    overlay: &[(u32, [i64; LANES])],
+    out: &mut [i64; LANES],
+) -> Result<()> {
+    veval::<STATS>(code, ctx, overlay)?;
+    *out = ctx.vistack.pop().unwrap();
+    Ok(())
+}
+
+fn veval_f<const STATS: bool>(
+    code: &Code,
+    ctx: &mut ExecCtx<'_>,
+    overlay: &[(u32, [i64; LANES])],
+    out: &mut [f32; LANES],
+) -> Result<()> {
+    veval::<STATS>(code, ctx, overlay)?;
+    *out = ctx.vfstack.pop().unwrap();
+    Ok(())
+}
+
+fn veval<const STATS: bool>(
+    code: &Code,
+    ctx: &mut ExecCtx<'_>,
+    overlay: &[(u32, [i64; LANES])],
+) -> Result<()> {
+    ctx.vistack.clear();
+    ctx.vfstack.clear();
+    for op in &code.ops {
+        match *op {
+            Op::PushF(v) => ctx.vfstack.push([v; LANES]),
+            Op::PushI(v) => ctx.vistack.push([v; LANES]),
+            Op::LoadVar(v) => {
+                if let Some((_, lanes)) = overlay.iter().rev().find(|(ov, _)| *ov == v) {
+                    ctx.vistack.push(*lanes);
+                } else {
+                    ctx.vistack.push([ctx.frame[v as usize]; LANES]);
+                }
+            }
+            Op::Load(b) => {
+                let idx = ctx.vistack.pop().unwrap();
+                let mut out = [0f32; LANES];
+                let buf = &ctx.bufs[b as usize];
+                for l in 0..LANES {
+                    out[l] = buf.get(idx[l])?;
+                }
+                if STATS {
+                    ctx.stats.loads += LANES as u64;
+                    ctx.stats.cycles += vector_mem_cost(ctx, b, &idx);
+                }
+                ctx.vfstack.push(out);
+            }
+            Op::BinF(op) => {
+                let b = ctx.vfstack.pop().unwrap();
+                let a = ctx.vfstack.last_mut().unwrap();
+                if STATS {
+                    ctx.stats.flops += LANES as u64;
+                    ctx.stats.cycles += ctx.cache.model().alu;
+                }
+                for l in 0..LANES {
+                    a[l] = apply_f(op, a[l], b[l]);
+                }
+            }
+            Op::BinI(op) => {
+                let b = ctx.vistack.pop().unwrap();
+                let a = ctx.vistack.last_mut().unwrap();
+                if STATS {
+                    ctx.stats.cycles += ctx.cache.model().alu;
+                }
+                for l in 0..LANES {
+                    a[l] = apply_i(op, a[l], b[l]);
+                }
+            }
+            Op::CmpF(op) => {
+                let b = ctx.vfstack.pop().unwrap();
+                let a = ctx.vfstack.pop().unwrap();
+                let mut out = [0i64; LANES];
+                for l in 0..LANES {
+                    out[l] = cmp_f(op, a[l], b[l]);
+                }
+                ctx.vistack.push(out);
+            }
+            Op::CmpI(op) => {
+                let b = ctx.vistack.pop().unwrap();
+                let a = ctx.vistack.pop().unwrap();
+                let mut out = [0i64; LANES];
+                for l in 0..LANES {
+                    out[l] = cmp_i(op, a[l], b[l]);
+                }
+                ctx.vistack.push(out);
+            }
+            Op::UnF(op) => {
+                let a = ctx.vfstack.last_mut().unwrap();
+                for l in 0..LANES {
+                    a[l] = apply_un_f(op, a[l]);
+                }
+            }
+            Op::UnI(op) => {
+                let a = ctx.vistack.last_mut().unwrap();
+                for l in 0..LANES {
+                    a[l] = apply_un_i(op, a[l]);
+                }
+            }
+            Op::SelF => {
+                let b = ctx.vfstack.pop().unwrap();
+                let a = ctx.vfstack.pop().unwrap();
+                let c = ctx.vistack.pop().unwrap();
+                let mut out = [0f32; LANES];
+                for l in 0..LANES {
+                    out[l] = if c[l] != 0 { a[l] } else { b[l] };
+                }
+                ctx.vfstack.push(out);
+            }
+            Op::SelI => {
+                let b = ctx.vistack.pop().unwrap();
+                let a = ctx.vistack.pop().unwrap();
+                let c = ctx.vistack.pop().unwrap();
+                let mut out = [0i64; LANES];
+                for l in 0..LANES {
+                    out[l] = if c[l] != 0 { a[l] } else { b[l] };
+                }
+                ctx.vistack.push(out);
+            }
+            Op::CastIF => {
+                let a = ctx.vistack.pop().unwrap();
+                let mut out = [0f32; LANES];
+                for l in 0..LANES {
+                    out[l] = a[l] as f32;
+                }
+                ctx.vfstack.push(out);
+            }
+            Op::CastFI => {
+                let a = ctx.vfstack.pop().unwrap();
+                let mut out = [0i64; LANES];
+                for l in 0..LANES {
+                    out[l] = a[l] as i64;
+                }
+                ctx.vistack.push(out);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Evaluates a load-free integer expression with the given variable
+/// bindings (used by runtimes to evaluate message sizes, ranks and
+/// offsets).
+///
+/// # Errors
+///
+/// [`Error::Type`] for non-integer expressions and
+/// [`Error::Structure`] when the expression loads from a buffer.
+pub fn eval_scalar(p: &Program, e: &Expr, bindings: &[(crate::expr::Var, i64)]) -> Result<i64> {
+    let code = compile(e)?;
+    if code.ty != Ty::I64 {
+        return Err(Error::Type("eval_scalar needs an integer expression".into()));
+    }
+    let mut frame = vec![0i64; p.n_vars()];
+    for (v, val) in bindings {
+        frame[v.index()] = *val;
+    }
+    let mut istack: Vec<i64> = Vec::new();
+    let mut fstack: Vec<f32> = Vec::new();
+    for op in &code.ops {
+        match *op {
+            Op::PushF(v) => fstack.push(v),
+            Op::PushI(v) => istack.push(v),
+            Op::LoadVar(v) => istack.push(frame[v as usize]),
+            Op::Load(_) => {
+                return Err(Error::Structure("eval_scalar cannot load buffers".into()))
+            }
+            Op::BinI(op) => {
+                let b = istack.pop().unwrap();
+                let a = istack.pop().unwrap();
+                istack.push(apply_i(op, a, b));
+            }
+            Op::CmpI(op) => {
+                let b = istack.pop().unwrap();
+                let a = istack.pop().unwrap();
+                istack.push(cmp_i(op, a, b));
+            }
+            Op::UnI(op) => {
+                let a = istack.pop().unwrap();
+                istack.push(apply_un_i(op, a));
+            }
+            Op::SelI => {
+                let b = istack.pop().unwrap();
+                let a = istack.pop().unwrap();
+                let c = istack.pop().unwrap();
+                istack.push(if c != 0 { a } else { b });
+            }
+            _ => return Err(Error::Type("eval_scalar needs a pure integer expression".into())),
+        }
+    }
+    Ok(istack.pop().unwrap())
+}
+
+/// Modeled cost of a vector memory operation: lane addresses go through
+/// the cache; contiguous lanes amortize to one dispatch, gathers pay the
+/// model's gather penalty.
+fn vector_mem_cost(ctx: &mut ExecCtx<'_>, buf: u32, idx: &[i64; LANES]) -> f64 {
+    let base = ctx.bases[buf as usize];
+    let contiguous = idx.windows(2).all(|w| w[1] == w[0] + 1);
+    let mut total = 0.0;
+    for &i in idx {
+        total += ctx.cache.access(base + (i as u64) * 4);
+    }
+    if contiguous {
+        total / LANES as f64
+    } else {
+        total * ctx.cache.model().gather_penalty / LANES as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::program::{Program, Stmt};
+
+    fn saxpy_program(kind: LoopKind, n: usize) -> (Program, BufId, BufId) {
+        let mut p = Program::new();
+        let x = p.buffer("x", n);
+        let y = p.buffer("y", n);
+        let i = p.var("i");
+        p.push(Stmt::for_(
+            i,
+            Expr::i64(0),
+            Expr::i64(n as i64),
+            kind,
+            vec![Stmt::store(
+                y,
+                Expr::var(i),
+                Expr::f32(2.0) * Expr::load(x, Expr::var(i)) + Expr::load(y, Expr::var(i)),
+            )],
+        ));
+        (p, x, y)
+    }
+
+    fn run_saxpy(kind: LoopKind) -> Vec<f32> {
+        let n = 100;
+        let (p, x, y) = saxpy_program(kind, n);
+        let mut m = Machine::new(&p);
+        for (k, v) in m.buffer_mut(x).iter_mut().enumerate() {
+            *v = k as f32;
+        }
+        for v in m.buffer_mut(y).iter_mut() {
+            *v = 1.0;
+        }
+        m.run(&p).unwrap();
+        m.buffer(y).to_vec()
+    }
+
+    #[test]
+    fn saxpy_serial_parallel_vector_agree() {
+        let serial = run_saxpy(LoopKind::Serial);
+        assert_eq!(serial[10], 21.0);
+        assert_eq!(run_saxpy(LoopKind::Parallel), serial);
+        assert_eq!(run_saxpy(LoopKind::Vectorize(8)), serial);
+        assert_eq!(run_saxpy(LoopKind::Unroll(4)), serial);
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let (p, _, _) = saxpy_program(LoopKind::Serial, 10);
+        let mut m = Machine::new(&p);
+        let stats = m.run_with_stats(&p).unwrap();
+        assert_eq!(stats.stores, 10);
+        assert_eq!(stats.loads, 20);
+        assert_eq!(stats.flops, 20); // mul + add per element
+        assert_eq!(stats.iterations, 10);
+    }
+
+    #[test]
+    fn nested_loops_and_let() {
+        // A[i*4 + j] = i + j via a let-bound row base.
+        let mut p = Program::new();
+        let a = p.buffer("A", 16);
+        let i = p.var("i");
+        let j = p.var("j");
+        let base = p.var("base");
+        p.push(Stmt::serial(
+            i,
+            Expr::i64(0),
+            Expr::i64(4),
+            vec![
+                Stmt::let_(base, Expr::var(i) * Expr::i64(4)),
+                Stmt::serial(
+                    j,
+                    Expr::i64(0),
+                    Expr::i64(4),
+                    vec![Stmt::store(
+                        a,
+                        Expr::var(base) + Expr::var(j),
+                        Expr::to_f32(Expr::var(i) + Expr::var(j)),
+                    )],
+                ),
+            ],
+        ));
+        let mut m = Machine::new(&p);
+        m.run(&p).unwrap();
+        assert_eq!(m.buffer(a)[0], 0.0);
+        assert_eq!(m.buffer(a)[5], 2.0); // i=1, j=1
+        assert_eq!(m.buffer(a)[15], 6.0);
+    }
+
+    #[test]
+    fn conditional_guard() {
+        // Only even indices written.
+        let mut p = Program::new();
+        let a = p.buffer("A", 8);
+        let i = p.var("i");
+        p.push(Stmt::serial(
+            i,
+            Expr::i64(0),
+            Expr::i64(8),
+            vec![Stmt::if_then(
+                Expr::eq(Expr::var(i) % Expr::i64(2), Expr::i64(0)),
+                vec![Stmt::store(a, Expr::var(i), Expr::f32(1.0))],
+            )],
+        ));
+        let mut m = Machine::new(&p);
+        m.run(&p).unwrap();
+        assert_eq!(m.buffer(a), &[1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn out_of_bounds_reported() {
+        let mut p = Program::new();
+        let a = p.buffer("A", 4);
+        let i = p.var("i");
+        p.push(Stmt::serial(
+            i,
+            Expr::i64(0),
+            Expr::i64(8),
+            vec![Stmt::store(a, Expr::var(i), Expr::f32(1.0))],
+        ));
+        let mut m = Machine::new(&p);
+        let err = m.run(&p).unwrap_err();
+        assert!(matches!(err, Error::OutOfBounds { index: 4, size: 4, .. }));
+    }
+
+    #[test]
+    fn vector_with_clamped_loads() {
+        // y[i] = x[clamp(i-1, 0, 7)] — boundary clamping in vector mode.
+        let mut p = Program::new();
+        let x = p.buffer("x", 8);
+        let y = p.buffer("y", 8);
+        let i = p.var("i");
+        p.push(Stmt::for_(
+            i,
+            Expr::i64(0),
+            Expr::i64(8),
+            LoopKind::Vectorize(8),
+            vec![Stmt::store(
+                y,
+                Expr::var(i),
+                Expr::load(
+                    x,
+                    Expr::clamp(Expr::var(i) - Expr::i64(1), Expr::i64(0), Expr::i64(7)),
+                ),
+            )],
+        ));
+        let mut m = Machine::new(&p);
+        for (k, v) in m.buffer_mut(x).iter_mut().enumerate() {
+            *v = k as f32 * 10.0;
+        }
+        m.run(&p).unwrap();
+        assert_eq!(m.buffer(y), &[0.0, 0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0]);
+    }
+
+    #[test]
+    fn reduction_in_serial_loop() {
+        // acc[0] += x[i] — a reduction expressed as load+store.
+        let mut p = Program::new();
+        let x = p.buffer("x", 32);
+        let acc = p.buffer("acc", 1);
+        let i = p.var("i");
+        p.push(Stmt::serial(
+            i,
+            Expr::i64(0),
+            Expr::i64(32),
+            vec![Stmt::store(
+                acc,
+                Expr::i64(0),
+                Expr::load(acc, Expr::i64(0)) + Expr::load(x, Expr::var(i)),
+            )],
+        ));
+        let mut m = Machine::new(&p);
+        for v in m.buffer_mut(x).iter_mut() {
+            *v = 1.0;
+        }
+        m.run(&p).unwrap();
+        assert_eq!(m.buffer(acc)[0], 32.0);
+    }
+
+    #[test]
+    fn dynamic_bounds_from_outer_var() {
+        // Triangular: for i in 0..4 { for j in 0..=i { A[i*4+j] = 1 } }
+        let mut p = Program::new();
+        let a = p.buffer("A", 16);
+        let i = p.var("i");
+        let j = p.var("j");
+        p.push(Stmt::serial(
+            i,
+            Expr::i64(0),
+            Expr::i64(4),
+            vec![Stmt::serial(
+                j,
+                Expr::i64(0),
+                Expr::var(i) + Expr::i64(1),
+                vec![Stmt::store(a, Expr::var(i) * Expr::i64(4) + Expr::var(j), Expr::f32(1.0))],
+            )],
+        ));
+        let mut m = Machine::new(&p);
+        m.run(&p).unwrap();
+        let total: f32 = m.buffer(a).iter().sum();
+        assert_eq!(total, 10.0); // 1 + 2 + 3 + 4
+    }
+
+    #[test]
+    fn parallel_respects_frame_values() {
+        // Outer serial loop sets `base`; inner parallel loop uses it.
+        let mut p = Program::new();
+        let a = p.buffer("A", 8);
+        let o = p.var("o");
+        let i = p.var("i");
+        p.push(Stmt::serial(
+            o,
+            Expr::i64(0),
+            Expr::i64(2),
+            vec![Stmt::for_(
+                i,
+                Expr::i64(0),
+                Expr::i64(4),
+                LoopKind::Parallel,
+                vec![Stmt::store(
+                    a,
+                    Expr::var(o) * Expr::i64(4) + Expr::var(i),
+                    Expr::to_f32(Expr::var(o) * Expr::i64(100) + Expr::var(i)),
+                )],
+            )],
+        ));
+        let mut m = Machine::new(&p);
+        m.run(&p).unwrap();
+        assert_eq!(m.buffer(a), &[0.0, 1.0, 2.0, 3.0, 100.0, 101.0, 102.0, 103.0]);
+    }
+}

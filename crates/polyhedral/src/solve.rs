@@ -1,0 +1,609 @@
+//! Exact integer feasibility and optimization: the Omega test.
+//!
+//! Emptiness of a basic set (a conjunction of affine constraints) over the
+//! **integers** is the core oracle of the compiler: dependence analysis and
+//! every legality check reduce to it (the paper's "compile-time set
+//! emptiness check", Table I). This module implements William Pugh's Omega
+//! test: Gaussian-style elimination of equalities using the symmetric
+//! modulus trick, followed by Fourier–Motzkin elimination of inequalities
+//! refined with the *dark shadow* and, when inexact, *splinter* sub-problems.
+//! The procedure is exact and needs only integer arithmetic.
+//!
+//! On pathological inputs the solver may hit its recursion budget; it then
+//! answers "feasible", which is the conservative direction for legality
+//! checking (a transformation is rejected rather than wrongly accepted).
+
+use crate::aff::{Aff, Constraint, ConstraintKind};
+
+/// A solver-internal constraint row: coefficients for each variable followed
+/// by the constant, plus an equality flag. Rows use `i128` because
+/// Fourier–Motzkin combinations multiply coefficients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// `[vars..., constant]`
+    pub c: Vec<i128>,
+    /// `true` for `= 0`, `false` for `>= 0`.
+    pub eq: bool,
+}
+
+impl Row {
+    fn n_vars(&self) -> usize {
+        self.c.len() - 1
+    }
+
+    /// Normalizes by the gcd of the variable coefficients; returns `false`
+    /// when integer-infeasible on its own.
+    fn normalize(&mut self) -> bool {
+        let n = self.n_vars();
+        let mut g: i128 = 0;
+        for &v in &self.c[..n] {
+            g = gcd_i128(g, v.abs());
+        }
+        if g == 0 {
+            return if self.eq { self.c[n] == 0 } else { self.c[n] >= 0 };
+        }
+        if g > 1 {
+            if self.eq {
+                if self.c[n] % g != 0 {
+                    return false;
+                }
+                for v in &mut self.c {
+                    *v /= g;
+                }
+            } else {
+                for v in &mut self.c[..n] {
+                    *v /= g;
+                }
+                self.c[n] = div_floor(self.c[n], g);
+            }
+        }
+        true
+    }
+
+    fn is_trivial(&self) -> bool {
+        let n = self.n_vars();
+        self.c[..n].iter().all(|&v| v == 0)
+            && if self.eq { self.c[n] == 0 } else { self.c[n] >= 0 }
+    }
+}
+
+fn gcd_i128(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Floor division for `b > 0`.
+pub fn div_floor(a: i128, b: i128) -> i128 {
+    debug_assert!(b > 0);
+    a.div_euclid(b)
+}
+
+/// The symmetric modulus of Pugh's Omega test: `a - m * floor(a/m + 1/2)`,
+/// with result of magnitude at most `m/2`. For `|a| = m - 1` it equals
+/// `-sign(a)`, which is what makes the equality-elimination trick work.
+pub fn smod(a: i128, m: i128) -> i128 {
+    debug_assert!(m > 0);
+    a - m * div_floor(2 * a + m, 2 * m)
+}
+
+/// Outcome of the feasibility procedure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Feasibility {
+    /// Integer points exist.
+    Feasible,
+    /// No integer point exists.
+    Infeasible,
+}
+
+const MAX_DEPTH: usize = 256;
+const MAX_ROWS: usize = 4096;
+
+/// Decides whether the conjunction of `rows` over `n_vars` integer
+/// variables has an integer solution. All variables (set dimensions *and*
+/// symbolic parameters) are treated as free integer unknowns, matching
+/// ISL's notion of emptiness for a parametric set: the set is empty iff it
+/// is empty for **every** parameter value, i.e. feasibility means "some
+/// parameter valuation makes it non-empty".
+pub fn rows_feasible(rows: &[Row], n_vars: usize) -> Feasibility {
+    let mut rows = rows.to_vec();
+    for r in &rows {
+        debug_assert_eq!(r.n_vars(), n_vars);
+    }
+    match feasible_rec(&mut rows, n_vars, 0) {
+        Some(true) => Feasibility::Feasible,
+        Some(false) => Feasibility::Infeasible,
+        // Resource limit: conservatively report feasible.
+        None => Feasibility::Feasible,
+    }
+}
+
+/// `Some(true)` feasible, `Some(false)` infeasible, `None` resources
+/// exhausted.
+fn feasible_rec(rows: &mut Vec<Row>, n_vars: usize, depth: usize) -> Option<bool> {
+    if depth > MAX_DEPTH || rows.len() > MAX_ROWS {
+        return None;
+    }
+    // Normalize; detect trivially-infeasible rows; drop trivial rows.
+    let mut i = 0;
+    while i < rows.len() {
+        if !rows[i].normalize() {
+            return Some(false);
+        }
+        if rows[i].is_trivial() {
+            rows.swap_remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    if n_vars == 0 || rows.is_empty() {
+        return Some(true);
+    }
+
+    // --- Equality elimination ---
+    if let Some(eq_idx) = rows.iter().position(|r| r.eq) {
+        let eq = rows[eq_idx].clone();
+        // Find a unit-coefficient variable.
+        if let Some(k) = (0..n_vars).find(|&k| eq.c[k].abs() == 1) {
+            // The substituted equality itself becomes a trivial row and is
+            // dropped by the normalization pass of the recursive call.
+            let mut next = substitute_out(rows, &eq, k);
+            return feasible_rec(&mut next, n_vars - 1, depth + 1);
+        }
+        // No unit coefficient: Pugh's symmetric-modulus reduction.
+        let k = (0..n_vars)
+            .filter(|&k| eq.c[k] != 0)
+            .min_by_key(|&k| eq.c[k].abs())
+            .expect("equality with no variables should have been removed");
+        let m = eq.c[k].abs() + 1;
+        // Fresh variable sigma appended at index n_vars.
+        // New equality: sum smod(a_i, m) x_i - m*sigma + smod(c, m) = 0,
+        // in which x_k has coefficient -sign(a_k) (unit!).
+        let mut fresh = Row { c: vec![0; n_vars + 2], eq: true };
+        for v in 0..n_vars {
+            fresh.c[v] = smod(eq.c[v], m);
+        }
+        fresh.c[n_vars] = -m;
+        fresh.c[n_vars + 1] = smod(eq.c[n_vars], m);
+        let mut widened: Vec<Row> = rows
+            .iter()
+            .map(|r| {
+                let mut c = r.c.clone();
+                c.insert(n_vars, 0);
+                Row { c, eq: r.eq }
+            })
+            .collect();
+        widened.push(fresh.clone());
+        // The fresh equality becomes trivial after substitution and is
+        // dropped by the recursive call's normalization pass.
+        let mut next = substitute_out(&widened, &fresh, k);
+        return feasible_rec(&mut next, n_vars, depth + 1);
+    }
+
+    // --- Inequalities only: pick a variable to eliminate ---
+    // Prefer a variable unbounded on one side (exact projection), then the
+    // one with the smallest lower*upper product, preferring exact FM.
+    let mut best: Option<(usize, usize, usize, bool)> = None; // (var, nl, nu, exact)
+    for v in 0..n_vars {
+        let mut nl = 0usize;
+        let mut nu = 0usize;
+        let mut exact = true;
+        for r in rows.iter() {
+            if r.c[v] > 0 {
+                nl += 1;
+            } else if r.c[v] < 0 {
+                nu += 1;
+            }
+        }
+        if nl == 0 || nu == 0 {
+            best = Some((v, nl, nu, true));
+            break;
+        }
+        for rl in rows.iter().filter(|r| r.c[v] > 0) {
+            for ru in rows.iter().filter(|r| r.c[v] < 0) {
+                if rl.c[v] != 1 && -ru.c[v] != 1 {
+                    exact = false;
+                }
+            }
+        }
+        let score = nl * nu;
+        let better = match best {
+            None => true,
+            Some((_, bnl, bnu, bexact)) => {
+                (exact && !bexact) || (exact == bexact && score < bnl * bnu)
+            }
+        };
+        if better {
+            best = Some((v, nl, nu, exact));
+        }
+    }
+    let (v, nl, nu, exact) = best.expect("no variables left despite n_vars > 0");
+
+    if nl == 0 || nu == 0 {
+        // Unconstrained direction: drop all rows mentioning v; projection is
+        // exact for feasibility.
+        let next: Vec<Row> = rows
+            .iter()
+            .filter(|r| r.c[v] == 0)
+            .map(|r| strip_col(r, v))
+            .collect();
+        let mut next = next;
+        return feasible_rec(&mut next, n_vars - 1, depth + 1);
+    }
+
+    // Fourier–Motzkin: real shadow.
+    let mut real = shadow(rows, v, 0);
+    if exact {
+        return feasible_rec(&mut real, n_vars - 1, depth + 1);
+    }
+    match feasible_rec(&mut real, n_vars - 1, depth + 1) {
+        Some(false) => return Some(false),
+        None => return None,
+        Some(true) => {}
+    }
+    // Dark shadow: lower*upper pairs tightened by (a-1)(b-1).
+    let mut dark = shadow(rows, v, 1);
+    match feasible_rec(&mut dark, n_vars - 1, depth + 1) {
+        Some(true) => return Some(true),
+        None => return None,
+        Some(false) => {}
+    }
+    // Splinters: for each lower bound a*x >= -r (a > 1), integer solutions
+    // missed by the dark shadow must satisfy a*x = -r + i for some
+    // 0 <= i <= (a*maxb - a - maxb)/maxb.
+    let maxb = rows.iter().filter(|r| r.c[v] < 0).map(|r| -r.c[v]).max().unwrap();
+    for rl in rows.clone().iter().filter(|r| r.c[v] > 1) {
+        let a = rl.c[v];
+        let hi = div_floor(a * maxb - a - maxb, maxb);
+        for i in 0..=hi {
+            let mut eq = rl.clone();
+            eq.eq = true;
+            eq.c[n_vars] -= i; // a*x + r - i = 0
+            let mut sub = rows.clone();
+            sub.push(eq);
+            match feasible_rec(&mut sub, n_vars, depth + 1) {
+                Some(true) => return Some(true),
+                None => return None,
+                Some(false) => {}
+            }
+        }
+    }
+    Some(false)
+}
+
+/// Removes column `v` from a row (requires the caller to have eliminated it).
+fn strip_col(r: &Row, v: usize) -> Row {
+    let mut c = r.c.clone();
+    c.remove(v);
+    Row { c, eq: r.eq }
+}
+
+/// Substitutes variable `k` out of every row using equality `eq`, in which
+/// `k` must have coefficient `±1`. Returns rows with column `k` removed
+/// (the equality itself, once substituted, becomes trivial and is kept so
+/// callers can locate and drop it).
+fn substitute_out(rows: &[Row], eq: &Row, k: usize) -> Vec<Row> {
+    let eps = eq.c[k];
+    debug_assert!(eps.abs() == 1);
+    rows.iter()
+        .map(|r| {
+            let beta = r.c[k];
+            if beta == 0 {
+                return strip_col(r, k);
+            }
+            let mut c = Vec::with_capacity(r.c.len() - 1);
+            for (j, (&rv, &ev)) in r.c.iter().zip(&eq.c).enumerate() {
+                if j == k {
+                    continue;
+                }
+                c.push(rv - beta * eps * ev);
+            }
+            Row { c, eq: r.eq }
+        })
+        .collect()
+}
+
+/// Fourier–Motzkin shadow of `rows` along variable `v`. `tighten = 0` gives
+/// the real shadow, `tighten = 1` the dark shadow (adds `-(a-1)(b-1)` to
+/// each combined constant).
+fn shadow(rows: &[Row], v: usize, tighten: i128) -> Vec<Row> {
+    let mut out = Vec::new();
+    for r in rows.iter().filter(|r| r.c[v] == 0) {
+        out.push(strip_col(r, v));
+    }
+    for rl in rows.iter().filter(|r| r.c[v] > 0) {
+        let a = rl.c[v];
+        for ru in rows.iter().filter(|r| r.c[v] < 0) {
+            let b = -ru.c[v];
+            let mut c = Vec::with_capacity(rl.c.len() - 1);
+            for (j, (&lv, &uv)) in rl.c.iter().zip(&ru.c).enumerate() {
+                if j == v {
+                    continue;
+                }
+                c.push(b * lv + a * uv);
+            }
+            let last = c.len() - 1;
+            c[last] -= tighten * (a - 1) * (b - 1);
+            out.push(Row { c, eq: false });
+        }
+    }
+    out
+}
+
+/// Converts [`Constraint`]s (layout `[vars..., const]`) into solver rows.
+pub fn rows_from_constraints(cons: &[Constraint]) -> Vec<Row> {
+    cons.iter()
+        .map(|c| Row {
+            c: c.aff.coeffs().iter().map(|&v| v as i128).collect(),
+            eq: c.kind == ConstraintKind::Eq,
+        })
+        .collect()
+}
+
+/// Integer feasibility of a conjunction of [`Constraint`]s over `n_vars`
+/// variables (all columns but the constant are variables).
+pub fn constraints_feasible(cons: &[Constraint], n_vars: usize) -> bool {
+    rows_feasible(&rows_from_constraints(cons), n_vars) == Feasibility::Feasible
+}
+
+/// Search bound used by [`int_min`]/[`int_max`]/[`sample_point`]: values
+/// beyond this magnitude are treated as unbounded.
+pub const SEARCH_BOUND: i64 = 1 << 40;
+
+/// Minimum integer value of the affine `obj` (layout `[vars..., const]`)
+/// over the integer points of `cons`, by binary search on feasibility of
+/// `obj <= t`.
+///
+/// Returns `None` when the set is empty or the objective is unbounded below
+/// (no value within [`SEARCH_BOUND`]).
+pub fn int_min(cons: &[Constraint], n_vars: usize, obj: &Aff) -> Option<i64> {
+    assert_eq!(obj.n_cols(), n_vars + 1);
+    if !constraints_feasible(cons, n_vars) {
+        return None;
+    }
+    let base = rows_from_constraints(cons);
+    let feas_leq = |t: i64| -> bool {
+        let mut rows = base.clone();
+        // t - obj >= 0
+        let mut c: Vec<i128> = obj.coeffs().iter().map(|&v| -(v as i128)).collect();
+        let last = c.len() - 1;
+        c[last] += t as i128;
+        rows.push(Row { c, eq: false });
+        rows_feasible(&rows, n_vars) == Feasibility::Feasible
+    };
+    let (mut lo, mut hi) = (-SEARCH_BOUND, SEARCH_BOUND);
+    if !feas_leq(hi) {
+        return None; // empty (shouldn't happen) — treat as no minimum
+    }
+    if feas_leq(lo) {
+        return None; // unbounded below within the search range
+    }
+    // Invariant: feas_leq(hi), !feas_leq(lo).
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if feas_leq(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+/// Maximum integer value of `obj` over `cons`; see [`int_min`].
+pub fn int_max(cons: &[Constraint], n_vars: usize, obj: &Aff) -> Option<i64> {
+    int_min(cons, n_vars, &obj.scale(-1)).map(|v| -v)
+}
+
+/// Finds one integer point of the conjunction, fixing variables one at a
+/// time at their minimal feasible value.
+///
+/// Returns `None` when the set is empty (or unbounded beyond the search
+/// range in the direction needed).
+pub fn sample_point(cons: &[Constraint], n_vars: usize) -> Option<Vec<i64>> {
+    let mut fixed: Vec<Constraint> = cons.to_vec();
+    let mut point = Vec::with_capacity(n_vars);
+    for v in 0..n_vars {
+        let obj = Aff::var(n_vars + 1, v);
+        let val = match int_min(&fixed, n_vars, &obj) {
+            Some(val) => val,
+            // Unbounded below: try 0, then the maximum.
+            None => {
+                let mut trial = fixed.clone();
+                trial.push(Constraint::eq(Aff::var(n_vars + 1, v)));
+                if constraints_feasible(&trial, n_vars) {
+                    0
+                } else {
+                    int_max(&fixed, n_vars, &obj)?
+                }
+            }
+        };
+        let pin = Aff::var(n_vars + 1, v).add(&Aff::constant(n_vars + 1, -val));
+        fixed.push(Constraint::eq(pin));
+        point.push(val);
+    }
+    if constraints_feasible(&fixed, n_vars) {
+        Some(point)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ineq(c: &[i128]) -> Row {
+        Row { c: c.to_vec(), eq: false }
+    }
+    fn eq(c: &[i128]) -> Row {
+        Row { c: c.to_vec(), eq: true }
+    }
+
+    #[test]
+    fn smod_matches_pugh() {
+        assert_eq!(smod(5, 6), -1);
+        assert_eq!(smod(-5, 6), 1);
+        assert_eq!(smod(7, 3), 1);
+        assert_eq!(smod(2, 5), 2);
+        assert_eq!(smod(3, 5), -2);
+    }
+
+    #[test]
+    fn box_is_feasible() {
+        // 0 <= x <= 10, 0 <= y <= 10
+        let rows = vec![
+            ineq(&[1, 0, 0]),
+            ineq(&[-1, 0, 10]),
+            ineq(&[0, 1, 0]),
+            ineq(&[0, -1, 10]),
+        ];
+        assert_eq!(rows_feasible(&rows, 2), Feasibility::Feasible);
+    }
+
+    #[test]
+    fn contradictory_bounds_infeasible() {
+        // x >= 5 and x <= 3
+        let rows = vec![ineq(&[1, -5]), ineq(&[-1, 3])];
+        assert_eq!(rows_feasible(&rows, 1), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn rational_but_not_integer_point() {
+        // 2x = 1: rationally feasible, integrally infeasible.
+        let rows = vec![eq(&[2, -1])];
+        assert_eq!(rows_feasible(&rows, 1), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn dark_shadow_gap() {
+        // 3x >= 1 and 3x <= 2: real shadow feasible (x in [1/3, 2/3]) but
+        // no integer x.
+        let rows = vec![ineq(&[3, -1]), ineq(&[-3, 2])];
+        assert_eq!(rows_feasible(&rows, 1), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn coupled_equalities() {
+        // 3x + 5y = 1 has integer solutions (x=2, y=-1).
+        let rows = vec![eq(&[3, 5, -1])];
+        assert_eq!(rows_feasible(&rows, 2), Feasibility::Feasible);
+        // 6x + 10y = 1 does not (gcd 2 does not divide 1).
+        let rows = vec![eq(&[6, 10, -1])];
+        assert_eq!(rows_feasible(&rows, 2), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn pugh_paper_example() {
+        // From the Omega paper: 27 <= 11x + 13y <= 45, -10 <= 7x - 9y <= 4
+        // has no integer solutions.
+        let rows = vec![
+            ineq(&[11, 13, -27]),
+            ineq(&[-11, -13, 45]),
+            ineq(&[7, -9, 10]),
+            ineq(&[-7, 9, 4]),
+        ];
+        assert_eq!(rows_feasible(&rows, 2), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn pugh_like_feasible_variant() {
+        // Loosen the previous system until a point exists (x=3, y=0:
+        // 11*3=33 in [27,45], 7*3=21 not in [-10,4] — pick x=1,y=2:
+        // 11+26=37 ok; 7-18=-11 not ok; widen the last bound).
+        let rows = vec![
+            ineq(&[11, 13, -27]),
+            ineq(&[-11, -13, 45]),
+            ineq(&[7, -9, 12]),
+            ineq(&[-7, 9, 4]),
+        ];
+        assert_eq!(rows_feasible(&rows, 2), Feasibility::Feasible);
+    }
+
+    #[test]
+    fn parametric_set_feasibility() {
+        // { i : 0 <= i < N } with N a free variable: feasible (N can be 1).
+        let rows = vec![ineq(&[1, 0, 0]), ineq(&[-1, 1, -1])];
+        assert_eq!(rows_feasible(&rows, 2), Feasibility::Feasible);
+        // { i : 0 <= i < N, N <= 0 }: infeasible for every N.
+        let rows = vec![ineq(&[1, 0, 0]), ineq(&[-1, 1, -1]), ineq(&[0, -1, 0])];
+        assert_eq!(rows_feasible(&rows, 2), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn tiling_equalities_feasible() {
+        // i = 32*i0 + i1, 0 <= i1 < 32, 0 <= i < 100, i0 >= 2
+        // => i >= 64 feasible; i0 >= 4 => i >= 128 infeasible.
+        let mk = |i0_min: i128| {
+            vec![
+                eq(&[1, -32, -1, 0]),   // i - 32 i0 - i1 = 0
+                ineq(&[0, 0, 1, 0]),    // i1 >= 0
+                ineq(&[0, 0, -1, 31]),  // i1 <= 31
+                ineq(&[1, 0, 0, 0]),    // i >= 0
+                ineq(&[-1, 0, 0, 99]),  // i <= 99
+                ineq(&[0, 1, 0, -i0_min]),
+            ]
+        };
+        assert_eq!(rows_feasible(&mk(2), 3), Feasibility::Feasible);
+        assert_eq!(rows_feasible(&mk(4), 3), Feasibility::Infeasible);
+    }
+
+    #[test]
+    fn int_min_max_over_triangle() {
+        // { (i,j) : 0 <= i <= 10, 0 <= j <= i } — minimize/maximize i + j.
+        let cons = vec![
+            Constraint::ineq(Aff::from_coeffs(vec![1, 0, 0])),
+            Constraint::ineq(Aff::from_coeffs(vec![-1, 0, 10])),
+            Constraint::ineq(Aff::from_coeffs(vec![0, 1, 0])),
+            Constraint::ineq(Aff::from_coeffs(vec![1, -1, 0])),
+        ];
+        let obj = Aff::from_coeffs(vec![1, 1, 0]);
+        assert_eq!(int_min(&cons, 2, &obj), Some(0));
+        assert_eq!(int_max(&cons, 2, &obj), Some(20));
+    }
+
+    #[test]
+    fn int_min_unbounded_is_none() {
+        // { x : x <= 0 } minimizing x: unbounded below.
+        let cons = vec![Constraint::ineq(Aff::from_coeffs(vec![-1, 0]))];
+        let obj = Aff::from_coeffs(vec![1, 0]);
+        assert_eq!(int_min(&cons, 1, &obj), None);
+        assert_eq!(int_max(&cons, 1, &obj), Some(0));
+    }
+
+    #[test]
+    fn sample_point_satisfies_constraints() {
+        let cons = vec![
+            Constraint::ineq(Aff::from_coeffs(vec![1, 0, -3])),  // i >= 3
+            Constraint::ineq(Aff::from_coeffs(vec![-1, 0, 7])),  // i <= 7
+            Constraint::eq(Aff::from_coeffs(vec![1, -2, 0])),    // i = 2j
+        ];
+        let p = sample_point(&cons, 2).expect("feasible");
+        assert!(p[0] >= 3 && p[0] <= 7 && p[0] == 2 * p[1]);
+    }
+
+    #[test]
+    fn sample_point_empty_is_none() {
+        let cons = vec![
+            Constraint::ineq(Aff::from_coeffs(vec![1, -5])),
+            Constraint::ineq(Aff::from_coeffs(vec![-1, 3])),
+        ];
+        assert_eq!(sample_point(&cons, 1), None);
+    }
+
+    #[test]
+    fn equality_chain_elimination() {
+        // x = y, y = z, z = 5, x >= 6: infeasible.
+        let rows = vec![
+            eq(&[1, -1, 0, 0]),
+            eq(&[0, 1, -1, 0]),
+            eq(&[0, 0, 1, -5]),
+            ineq(&[1, 0, 0, -6]),
+        ];
+        assert_eq!(rows_feasible(&rows, 3), Feasibility::Infeasible);
+    }
+}

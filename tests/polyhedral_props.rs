@@ -1,0 +1,265 @@
+//! Property-based tests of the polyhedral substrate: set algebra checked
+//! against brute-force point enumeration, the Omega test against a naive
+//! integer search, and AST generation against the lexicographic reference
+//! order.
+
+use polyhedral::{build_ast, interpret, Aff, AstBuild, BasicMap, BasicSet, ScheduledStmt, Set, Space};
+use proptest::prelude::*;
+
+const RANGE: std::ops::RangeInclusive<i64> = -4..=10;
+
+/// A random 2-D basic set given as interval bounds plus one extra affine
+/// constraint `a*i + b*j + c >= 0`.
+#[derive(Debug, Clone)]
+struct RandSet {
+    lo: [i64; 2],
+    hi: [i64; 2],
+    extra: [i64; 3],
+}
+
+fn rand_set() -> impl Strategy<Value = RandSet> {
+    (
+        [-2i64..=4, -2i64..=4],
+        [0i64..=6, 0i64..=6],
+        [-2i64..=2, -2i64..=2, -4i64..=6],
+    )
+        .prop_map(|(lo, len, extra)| RandSet {
+            lo,
+            hi: [lo[0] + len[0], lo[1] + len[1]],
+            extra,
+        })
+}
+
+fn build(rs: &RandSet) -> BasicSet {
+    let space = Space::set("S", &["i", "j"], &[]);
+    let n = space.n_cols();
+    let mut cons = Vec::new();
+    for d in 0..2 {
+        cons.push(polyhedral::Constraint::ineq(
+            Aff::var(n, d).add(&Aff::constant(n, -rs.lo[d])),
+        ));
+        cons.push(polyhedral::Constraint::ineq(
+            Aff::var(n, d).scale(-1).add(&Aff::constant(n, rs.hi[d])),
+        ));
+    }
+    cons.push(polyhedral::Constraint::ineq(Aff::from_coeffs(vec![
+        rs.extra[0],
+        rs.extra[1],
+        rs.extra[2],
+    ])));
+    BasicSet::from_constraints(space, cons)
+}
+
+fn points(s: &BasicSet) -> Vec<(i64, i64)> {
+    let mut out = Vec::new();
+    for i in RANGE {
+        for j in RANGE {
+            if s.contains(&[i, j], &[]) {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn emptiness_matches_enumeration(rs in rand_set()) {
+        let s = build(&rs);
+        // The random sets are confined to RANGE by construction, so
+        // enumeration is complete.
+        prop_assert_eq!(s.is_empty(), points(&s).is_empty());
+    }
+
+    #[test]
+    fn intersection_is_pointwise_and(a in rand_set(), b in rand_set()) {
+        let (sa, sb) = (build(&a), build(&b));
+        let inter = sa.intersect(&sb).unwrap();
+        for i in RANGE {
+            for j in RANGE {
+                let expect = sa.contains(&[i, j], &[]) && sb.contains(&[i, j], &[]);
+                prop_assert_eq!(inter.contains(&[i, j], &[]), expect, "at ({}, {})", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn subtraction_is_pointwise_difference(a in rand_set(), b in rand_set()) {
+        let (sa, sb) = (Set::from_basic(build(&a)), Set::from_basic(build(&b)));
+        let diff = sa.subtract(&sb).unwrap();
+        for i in RANGE {
+            for j in RANGE {
+                let expect = sa.contains(&[i, j], &[]) && !sb.contains(&[i, j], &[]);
+                prop_assert_eq!(diff.contains(&[i, j], &[]), expect, "at ({}, {})", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn union_subset_laws(a in rand_set(), b in rand_set()) {
+        let (sa, sb) = (Set::from_basic(build(&a)), Set::from_basic(build(&b)));
+        let u = sa.union(&sb).unwrap();
+        prop_assert!(sa.is_subset(&u).unwrap());
+        prop_assert!(sb.is_subset(&u).unwrap());
+        // a \ b ⊆ a
+        prop_assert!(sa.subtract(&sb).unwrap().is_subset(&sa).unwrap());
+        // (a \ b) ∩ b = ∅
+        prop_assert!(sa.subtract(&sb).unwrap().intersect(&sb).unwrap().is_empty());
+    }
+
+    #[test]
+    fn projection_contains_shadow(rs in rand_set()) {
+        let s = build(&rs);
+        let (proj, _exact) = s.project_out(1, 1);
+        // Every point of the set projects into the projection (it may
+        // over-approximate, never under-approximate).
+        for (i, j) in points(&s) {
+            let _ = j;
+            prop_assert!(proj.contains(&[i], &[]), "lost point i={}", i);
+        }
+    }
+
+    #[test]
+    fn sample_point_is_member(rs in rand_set()) {
+        let s = build(&rs);
+        if let Some((dims, params)) = s.sample() {
+            prop_assert!(s.contains(&dims, &params));
+        } else {
+            prop_assert!(s.is_empty());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The Omega test against brute-force enumeration on random 3-variable
+    /// systems with an equality (exercising the symmetric-modulus
+    /// elimination and dark-shadow paths).
+    #[test]
+    fn omega_matches_enumeration_with_equalities(
+        eq in [[-3i64..=3, -3i64..=3, -3i64..=3, -6i64..=6]],
+        ineqs in proptest::collection::vec([-3i64..=3, -3i64..=3, -3i64..=3, -6i64..=6], 1..4),
+    ) {
+        use polyhedral::{Aff, BasicSet, Constraint, Space};
+        let space = Space::set("S", &["x", "y", "z"], &[]);
+        let mut cons = vec![
+            // Confine to a box so enumeration is complete.
+            Constraint::ineq(Aff::from_coeffs(vec![1, 0, 0, 5])),
+            Constraint::ineq(Aff::from_coeffs(vec![-1, 0, 0, 5])),
+            Constraint::ineq(Aff::from_coeffs(vec![0, 1, 0, 5])),
+            Constraint::ineq(Aff::from_coeffs(vec![0, -1, 0, 5])),
+            Constraint::ineq(Aff::from_coeffs(vec![0, 0, 1, 5])),
+            Constraint::ineq(Aff::from_coeffs(vec![0, 0, -1, 5])),
+        ];
+        cons.push(Constraint::eq(Aff::from_coeffs(eq[0].to_vec())));
+        for row in &ineqs {
+            cons.push(Constraint::ineq(Aff::from_coeffs(row.to_vec())));
+        }
+        let s = BasicSet::from_constraints(space, cons);
+        let mut any = false;
+        'search: for x in -5i64..=5 {
+            for y in -5i64..=5 {
+                for z in -5i64..=5 {
+                    if s.contains(&[x, y, z], &[]) {
+                        any = true;
+                        break 'search;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(!s.is_empty(), any);
+    }
+}
+
+/// Random 2-D schedules: a unimodular-ish transformation plus shifts.
+#[derive(Debug, Clone)]
+struct RandSched {
+    swap: bool,
+    skew: i64,
+    shift: [i64; 2],
+}
+
+fn rand_sched() -> impl Strategy<Value = RandSched> {
+    (any::<bool>(), -2i64..=2, [-3i64..=3, -3i64..=3])
+        .prop_map(|(swap, skew, shift)| RandSched { swap, skew, shift })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// AST generation visits exactly the domain points, in the
+    /// lexicographic order of the schedule.
+    #[test]
+    fn astgen_matches_reference_order(rs in rand_set(), sc in rand_sched()) {
+        let dom = build(&rs);
+        if dom.is_empty() {
+            return Ok(());
+        }
+        let space = dom.space().clone();
+        let n = space.n_cols();
+        // schedule (i, j) -> (a, b): optional swap, skew, shifts.
+        let (e0, e1) = if sc.swap {
+            (Aff::var(n, 1), Aff::var(n, 0))
+        } else {
+            (Aff::var(n, 0), Aff::var(n, 1))
+        };
+        // Unimodular by construction: (o0, o1 + skew*o0) + shifts.
+        let affs = vec![
+            e0.clone().add(&Aff::constant(n, sc.shift[0])),
+            e1.add(&e0.scale(sc.skew)).add(&Aff::constant(n, sc.shift[1])),
+        ];
+        let tspace = Space::set("T", &["a", "b"], &[]);
+        let sched = BasicMap::from_output_affs(&space, &tspace, &affs);
+        let stmt = ScheduledStmt { name: "S".into(), domain: dom.clone(), schedule: sched.clone() };
+        let ast = build_ast(&[stmt], &AstBuild::default()).unwrap();
+        let mut got: Vec<(i64, i64)> = Vec::new();
+        interpret(&ast, 2, &[], &mut |_idx, iters| got.push((iters[0], iters[1])));
+
+        // Reference: enumerate, order by schedule image.
+        let mut expect: Vec<((i64, i64), (i64, i64))> = points(&dom)
+            .into_iter()
+            .map(|(i, j)| {
+                let t0 = affs[0].eval(&[i, j]);
+                let t1 = affs[1].eval(&[i, j]);
+                ((t0, t1), (i, j))
+            })
+            .collect();
+        expect.sort();
+        let expect: Vec<(i64, i64)> = expect.into_iter().map(|(_, p)| p).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Tiling schedules also scan every point exactly once.
+    #[test]
+    fn astgen_tiled_visits_once(rs in rand_set(), t in 2i64..=5) {
+        let dom = build(&rs);
+        if dom.is_empty() {
+            return Ok(());
+        }
+        let space = dom.space().clone();
+        let tspace = Space::set("T", &["i0", "i1", "jo"], &[]);
+        let ms = polyhedral::MapSpace::new(space, tspace);
+        let cons = [
+            format!("i = {t}i0 + i1"),
+            "i1 >= 0".to_string(),
+            format!("i1 <= {}", t - 1),
+            "jo = j".to_string(),
+        ];
+        let texts: Vec<&str> = cons.iter().map(|s| s.as_str()).collect();
+        let sched = BasicMap::from_constraint_strs(&ms, &texts).unwrap();
+        let stmt = ScheduledStmt { name: "S".into(), domain: dom.clone(), schedule: sched };
+        let ast = build_ast(&[stmt], &AstBuild::default()).unwrap();
+        let mut got: Vec<(i64, i64)> = Vec::new();
+        interpret(&ast, 3, &[], &mut |_idx, iters| got.push((iters[0], iters[1])));
+        let mut expect = points(&dom);
+        expect.sort();
+        let mut got_sorted = got.clone();
+        got_sorted.sort();
+        prop_assert_eq!(&got_sorted, &expect, "coverage");
+        got_sorted.dedup();
+        prop_assert_eq!(got_sorted.len(), got.len(), "duplicate visits");
+    }
+}

@@ -1,0 +1,248 @@
+//! Property-based tests of the execution substrate: the three VM
+//! execution paths (serial / parallel / vector) must agree on random
+//! programs, and the compiler's generated code must agree with a direct
+//! interpreter of random scheduled computations.
+
+use loopvm::{Expr as V, LoopKind, Machine, Program, Stmt};
+use proptest::prelude::*;
+
+/// A random elementwise expression over `x[i]`, `y[i]` and `i`.
+#[derive(Debug, Clone)]
+enum RExpr {
+    X,
+    Y,
+    ConstF(i8),
+    Add(Box<RExpr>, Box<RExpr>),
+    Sub(Box<RExpr>, Box<RExpr>),
+    Mul(Box<RExpr>, Box<RExpr>),
+    MinMax(Box<RExpr>, Box<RExpr>, bool),
+    SelectIdx(Box<RExpr>, Box<RExpr>),
+}
+
+fn rexpr() -> impl Strategy<Value = RExpr> {
+    let leaf = prop_oneof![
+        Just(RExpr::X),
+        Just(RExpr::Y),
+        any::<i8>().prop_map(RExpr::ConstF),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| RExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| RExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| RExpr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), any::<bool>())
+                .prop_map(|(a, b, m)| RExpr::MinMax(Box::new(a), Box::new(b), m)),
+            (inner.clone(), inner).prop_map(|(a, b)| RExpr::SelectIdx(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn to_vexpr(e: &RExpr, x: loopvm::BufId, y: loopvm::BufId, i: loopvm::Var) -> V {
+    match e {
+        RExpr::X => V::load(x, V::var(i)),
+        RExpr::Y => V::load(y, V::var(i)),
+        RExpr::ConstF(v) => V::f32(*v as f32),
+        RExpr::Add(a, b) => to_vexpr(a, x, y, i) + to_vexpr(b, x, y, i),
+        RExpr::Sub(a, b) => to_vexpr(a, x, y, i) - to_vexpr(b, x, y, i),
+        RExpr::Mul(a, b) => to_vexpr(a, x, y, i) * to_vexpr(b, x, y, i),
+        RExpr::MinMax(a, b, true) => V::min(to_vexpr(a, x, y, i), to_vexpr(b, x, y, i)),
+        RExpr::MinMax(a, b, false) => V::max(to_vexpr(a, x, y, i), to_vexpr(b, x, y, i)),
+        RExpr::SelectIdx(a, b) => V::select(
+            V::lt(V::var(i) % V::i64(3), V::i64(1)),
+            to_vexpr(a, x, y, i),
+            to_vexpr(b, x, y, i),
+        ),
+    }
+}
+
+fn eval_ref(e: &RExpr, xv: f32, yv: f32, i: i64) -> f32 {
+    match e {
+        RExpr::X => xv,
+        RExpr::Y => yv,
+        RExpr::ConstF(v) => *v as f32,
+        RExpr::Add(a, b) => eval_ref(a, xv, yv, i) + eval_ref(b, xv, yv, i),
+        RExpr::Sub(a, b) => eval_ref(a, xv, yv, i) - eval_ref(b, xv, yv, i),
+        RExpr::Mul(a, b) => eval_ref(a, xv, yv, i) * eval_ref(b, xv, yv, i),
+        RExpr::MinMax(a, b, true) => eval_ref(a, xv, yv, i).min(eval_ref(b, xv, yv, i)),
+        RExpr::MinMax(a, b, false) => eval_ref(a, xv, yv, i).max(eval_ref(b, xv, yv, i)),
+        RExpr::SelectIdx(a, b) => {
+            if i.rem_euclid(3) < 1 {
+                eval_ref(a, xv, yv, i)
+            } else {
+                eval_ref(b, xv, yv, i)
+            }
+        }
+    }
+}
+
+fn run_kind(e: &RExpr, kind: LoopKind, n: usize) -> Vec<f32> {
+    let mut p = Program::new();
+    let x = p.buffer("x", n);
+    let y = p.buffer("y", n);
+    let out = p.buffer("out", n);
+    let i = p.var("i");
+    p.push(Stmt::for_(
+        i,
+        V::i64(0),
+        V::i64(n as i64),
+        kind,
+        vec![Stmt::store(out, V::var(i), to_vexpr(e, x, y, i))],
+    ));
+    let mut m = Machine::new(&p);
+    for (k, v) in m.buffer_mut(x).iter_mut().enumerate() {
+        *v = (k as f32 * 0.5) - 3.0;
+    }
+    for (k, v) in m.buffer_mut(y).iter_mut().enumerate() {
+        *v = 7.0 - k as f32;
+    }
+    m.run(&p).unwrap();
+    m.buffer(out).to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Serial, parallel and vector execution agree bit-for-bit with a
+    /// direct Rust evaluation of the same expression.
+    #[test]
+    fn execution_paths_agree(e in rexpr(), n in 3usize..40) {
+        let serial = run_kind(&e, LoopKind::Serial, n);
+        for k in 0..n {
+            let xv = (k as f32 * 0.5) - 3.0;
+            let yv = 7.0 - k as f32;
+            let expect = eval_ref(&e, xv, yv, k as i64);
+            prop_assert!(
+                (serial[k] - expect).abs() < 1e-4 || (serial[k].is_nan() && expect.is_nan()),
+                "serial[{}] = {}, expected {}", k, serial[k], expect
+            );
+        }
+        prop_assert_eq!(&run_kind(&e, LoopKind::Parallel, n), &serial);
+        prop_assert_eq!(&run_kind(&e, LoopKind::Vectorize(8), n), &serial);
+        prop_assert_eq!(&run_kind(&e, LoopKind::Unroll(4), n), &serial);
+    }
+
+    /// The VM's stats path computes identical results to the fast path.
+    #[test]
+    fn stats_path_matches_fast_path(e in rexpr(), n in 3usize..24) {
+        let mut p = Program::new();
+        let x = p.buffer("x", n);
+        let y = p.buffer("y", n);
+        let out = p.buffer("out", n);
+        let i = p.var("i");
+        p.push(Stmt::serial(
+            i,
+            V::i64(0),
+            V::i64(n as i64),
+            vec![Stmt::store(out, V::var(i), to_vexpr(&e, x, y, i))],
+        ));
+        let run = |stats: bool| {
+            let mut m = Machine::new(&p);
+            for (k, v) in m.buffer_mut(x).iter_mut().enumerate() {
+                *v = k as f32;
+            }
+            for (k, v) in m.buffer_mut(y).iter_mut().enumerate() {
+                *v = -(k as f32);
+            }
+            if stats {
+                m.run_with_stats(&p).unwrap();
+            } else {
+                m.run(&p).unwrap();
+            }
+            m.buffer(out).to_vec()
+        };
+        prop_assert_eq!(run(false), run(true));
+    }
+}
+
+/// Random 2-D tiramisu schedule pipelines compared against the
+/// unscheduled semantics: scheduling commands never change results.
+#[derive(Debug, Clone)]
+struct RandSchedule {
+    tile: Option<(u8, u8)>,
+    interchange: bool,
+    shift: i8,
+    vectorize: bool,
+    parallel: bool,
+}
+
+fn rand_schedule() -> impl Strategy<Value = RandSchedule> {
+    (
+        proptest::option::of((2u8..=5, 2u8..=5)),
+        any::<bool>(),
+        -2i8..=2,
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(tile, interchange, shift, vectorize, parallel)| RandSchedule {
+            tile,
+            interchange,
+            shift,
+            vectorize,
+            parallel,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_schedules_preserve_semantics(sc in rand_schedule()) {
+        use tiramisu::{CpuOptions, Expr as E, Function};
+        let n = 12i64;
+        let build = |apply: bool| -> Vec<f32> {
+            let mut f = Function::new("t", &["N"]);
+            let i = f.var("i", 0, E::param("N"));
+            let j = f.var("j", 0, E::param("N"));
+            let input = f.input("in", &[i.clone(), j.clone()]).unwrap();
+            let c = f
+                .computation(
+                    "out",
+                    &[i, j],
+                    f.access(input, &[E::iter("i"), E::iter("j")]) * E::f32(3.0)
+                        + E::cast_f32(E::iter("i")),
+                )
+                .unwrap();
+            if apply {
+                if let Some((t1, t2)) = sc.tile {
+                    f.tile(c, "i", "j", t1 as i64, t2 as i64, ("i0", "j0", "i1", "j1"))
+                        .unwrap();
+                    if sc.interchange {
+                        f.interchange(c, "i0", "j0").unwrap();
+                    }
+                    if sc.shift != 0 {
+                        f.shift(c, "i1", sc.shift as i64).unwrap();
+                    }
+                    if sc.vectorize {
+                        f.vectorize(c, "j1", 4).unwrap();
+                    }
+                    if sc.parallel {
+                        f.parallelize(c, "i0").unwrap();
+                    }
+                } else {
+                    if sc.interchange {
+                        f.interchange(c, "i", "j").unwrap();
+                    }
+                    if sc.shift != 0 {
+                        f.shift(c, "i", sc.shift as i64).unwrap();
+                    }
+                    if sc.vectorize {
+                        f.vectorize(c, "j", 4).unwrap();
+                    }
+                    if sc.parallel {
+                        f.parallelize(c, "i").unwrap();
+                    }
+                }
+            }
+            let module =
+                tiramisu::compile_cpu(&f, &[("N", n)], CpuOptions::default()).unwrap();
+            let mut machine = module.machine();
+            let in_buf = module.vm_buffer("in").unwrap();
+            for (k, v) in machine.buffer_mut(in_buf).iter_mut().enumerate() {
+                *v = (k % 13) as f32;
+            }
+            machine.run(&module.program).unwrap();
+            machine.buffer(module.vm_buffer("out").unwrap()).to_vec()
+        };
+        prop_assert_eq!(build(true), build(false));
+    }
+}
