@@ -1,0 +1,4 @@
+//! Offline placeholder for `serde`. The workspace declares the dependency
+//! but does not currently use it; this empty crate satisfies resolution
+//! without network access. Replace with the registry crate when a
+//! consumer actually needs (de)serialization.

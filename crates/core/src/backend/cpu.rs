@@ -842,9 +842,9 @@ mod tests {
     fn illegal_schedule_rejected_at_compile() {
         let mut f = Function::new("t", &["N"]);
         let i = f.var("i", 0, Expr::param("N"));
-        let a = f.computation("A", &[i.clone()], Expr::f32(1.0)).unwrap();
+        let a = f.computation("A", std::slice::from_ref(&i), Expr::f32(1.0)).unwrap();
         let read = f.access(a, &[Expr::iter("i")]);
-        let b = f.computation("B", &[i.clone()], read).unwrap();
+        let b = f.computation("B", std::slice::from_ref(&i), read).unwrap();
         f.after(a, b, crate::schedule::At::Root).unwrap(); // A after B: illegal
         assert!(matches!(
             compile(&f, &[("N", 8)], CpuOptions::default()),
@@ -857,7 +857,7 @@ mod tests {
     fn separate_tiles_emits_branch() {
         let mut f = Function::new("t", &["N"]);
         let i = f.var("i", 0, Expr::param("N"));
-        let a = f.computation("A", &[i.clone()], Expr::f32(1.0)).unwrap();
+        let a = f.computation("A", std::slice::from_ref(&i), Expr::f32(1.0)).unwrap();
         f.split(a, "i", 4, "i0", "i1").unwrap();
         let module = compile(
             &f,

@@ -21,11 +21,16 @@ use std::collections::HashMap;
 pub struct DistOptions {
     /// Verify the schedule before code generation (on by default).
     pub check_legality: bool,
+    /// Statically validate the Layer IV communication structure — every
+    /// send must have a matching receive on the destination rank — when
+    /// the rank graph is computable from the bound parameters (on by
+    /// default). See [`crate::layer4::validate_comm`].
+    pub check_comm: bool,
 }
 
 impl Default for DistOptions {
     fn default() -> Self {
-        DistOptions { check_legality: true }
+        DistOptions { check_legality: true, check_comm: true }
     }
 }
 
@@ -68,7 +73,8 @@ impl DistModule {
 /// # Errors
 ///
 /// Legality violations, unbound parameters, GPU tags, malformed
-/// communication expressions.
+/// communication expressions, and (with [`DistOptions::check_comm`])
+/// statically detectable send/receive mismatches.
 pub fn compile(f: &Function, params: &[(&str, i64)], options: DistOptions) -> Result<DistModule> {
     if options.check_legality {
         legality::assert_legal(f)?;
@@ -82,6 +88,9 @@ pub fn compile(f: &Function, params: &[(&str, i64)], options: DistOptions) -> Re
         if !param_vals.contains_key(p) {
             return Err(Error::UnknownParam(format!("parameter {p} not bound")));
         }
+    }
+    if options.check_comm {
+        crate::layer4::validate_comm(f, &param_vals)?;
     }
     let mut emit = Emit::new(f, lowered, CpuOptions::default(), param_vals.clone(), false);
     crate::lowering::specialize_params(&mut emit.lowered, f, &emit.param_vals);
@@ -377,6 +386,67 @@ mod tests {
         let stats = m.run(4, &CommModel::default(), true).unwrap();
         let total: u64 = stats.compute.iter().map(|c| c.stores).sum();
         assert_eq!(total, 4); // one iteration per rank
+    }
+
+    /// A blur whose halo send has no matching receive: every variant of
+    /// this used to compile fine and hang at runtime.
+    fn build_unmatched_send(nodes: i64, check_comm: bool) -> Result<DistModule> {
+        let mut f = Function::new("lonely", &["Nodes", "CHUNK"]);
+        let r = f.var("r", 0, Expr::param("Nodes"));
+        let i = f.var("i", 0, Expr::param("CHUNK"));
+        let lin = f
+            .input("lin", &[f.var("i", 0, Expr::param("CHUNK") + Expr::i64(1))])
+            .unwrap();
+        let bx = f
+            .computation("bx", &[r, i], f.access(lin, &[Expr::iter("i")]))
+            .unwrap();
+        f.distribute(bx, "r").unwrap();
+        let is = Var::new("is", Expr::i64(1), Expr::param("Nodes"));
+        let s = f.send(
+            is,
+            "lin",
+            Expr::i64(0),
+            Expr::i64(1),
+            Expr::iter("is") - Expr::i64(1),
+            true,
+        );
+        f.comm_before(s, bx);
+        compile(
+            &f,
+            &[("Nodes", nodes), ("CHUNK", 4)],
+            DistOptions { check_comm, ..DistOptions::default() },
+        )
+    }
+
+    #[test]
+    fn unmatched_send_rejected_at_compile_time() {
+        let err = build_unmatched_send(4, true).unwrap_err();
+        match err {
+            Error::Illegal(msg) => {
+                assert!(msg.contains("matching receive"), "{msg}");
+                assert!(msg.contains("'lin'"), "{msg}");
+            }
+            other => panic!("expected Illegal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unmatched_send_without_static_check_fails_at_launch() {
+        // With the compile-time check off, the runtime's own pre-launch
+        // validation (or, for dynamic programs, the watchdog) still turns
+        // the would-be hang into a structured error.
+        let module = build_unmatched_send(4, false).unwrap();
+        let err = module.run(4, &CommModel::default(), false).unwrap_err();
+        assert!(err.to_string().contains("communication mismatch"), "{err}");
+    }
+
+    #[test]
+    fn matched_blur_passes_static_check() {
+        // build_dist_blur compiles with DistOptions::default(), i.e. the
+        // static comm check enabled — the matched halo exchange passes.
+        let (_, module) = build_dist_blur(4, 8);
+        let stats = module.run(4, &CommModel::default(), false).unwrap();
+        assert_eq!(stats.bytes_sent, vec![0, 4, 4, 4]);
     }
 
     #[test]

@@ -575,8 +575,8 @@ mod tests {
         }
         let run = module.run(&mut bufs, &GpuModel::default()).unwrap();
         let out_idx = module.buffer_index("out").unwrap();
-        for p in 0..(n * n) as usize {
-            assert_eq!(bufs[out_idx][p], 2.0 * (1.0 + p as f32), "at {p}");
+        for (p, &v) in bufs[out_idx].iter().enumerate().take((n * n) as usize) {
+            assert_eq!(v, 2.0 * (1.0 + p as f32), "at {p}");
         }
         assert!(run.kernels[0].divergent_branches > 0);
     }
@@ -721,12 +721,12 @@ mod tests {
             let mut f = Function::new("w", &["N"]);
             let i = f.var("i", 0, Expr::param("N"));
             let wdom = f.var("k", 0, 16);
-            let input = f.input("in", &[i.clone()]).unwrap();
-            let w = f.input("w", &[wdom.clone()]).unwrap();
+            let input = f.input("in", std::slice::from_ref(&i)).unwrap();
+            let w = f.input("w", std::slice::from_ref(&wdom)).unwrap();
             let out = f
                 .computation(
                     "out",
-                    &[i.clone()],
+                    std::slice::from_ref(&i),
                     f.access(input, &[Expr::iter("i")]) * f.access(w, &[Expr::i64(0)]),
                 )
                 .unwrap();

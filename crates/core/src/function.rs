@@ -443,8 +443,8 @@ mod tests {
     fn sequential_computations_get_increasing_beta0() {
         let mut f = Function::new("two", &[]);
         let i = f.var("i", 0, 10);
-        let a = f.computation("a", &[i.clone()], Expr::f32(1.0)).unwrap();
-        let b = f.computation("b", &[i.clone()], Expr::f32(2.0)).unwrap();
+        let a = f.computation("a", std::slice::from_ref(&i), Expr::f32(1.0)).unwrap();
+        let b = f.computation("b", std::slice::from_ref(&i), Expr::f32(2.0)).unwrap();
         assert_eq!(f.comp(a).betas[0], 0);
         assert_eq!(f.comp(b).betas[0], 1);
     }

@@ -9,8 +9,10 @@
 //! computations with [`Function::comm_before`] (the paper's
 //! `s.before(r, root)`).
 
-use crate::expr::{CompId, Expr};
-use crate::function::{Function, Var};
+use crate::expr::{CompId, Expr, Op};
+use crate::function::{Error, Function, Result, Var};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
 
 /// Identifier of a communication operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,5 +119,205 @@ impl Function {
     /// (the paper's `s.before(bx, root)`).
     pub fn comm_before(&mut self, op: CommId, comp: CompId) {
         self.comm[op.0 as usize].before = Some(comp);
+    }
+}
+
+/// Enumerating more ranks than this is treated as "not statically
+/// analyzable" rather than burning compile time.
+const MAX_STATIC_RANKS: i64 = 4096;
+
+/// Statically validates the Layer IV communication structure of `f` with
+/// all parameters bound.
+///
+/// The rank space is inferred from the communication ops themselves (the
+/// maximum upper bound of any send/receive rank iterator; barriers are
+/// global and excluded). For every rank in every op's domain the partner
+/// expression is evaluated, yielding the full point-to-point graph without
+/// lowering or running anything; each directed pair must then post as many
+/// receives as it is sent messages. A mismatch is the classic way a
+/// hand-scheduled Layer IV program deadlocks at runtime — reporting it
+/// here turns a hang into a compile-time legality error.
+///
+/// Programs whose bounds or partners do not evaluate statically (or with
+/// rank spaces beyond `MAX_STATIC_RANKS`) pass: enforcement falls back
+/// to the runtime's own validation and progress watchdog.
+///
+/// # Errors
+///
+/// [`Error::Illegal`] naming the first mismatched directed pair.
+pub fn validate_comm(f: &Function, params: &HashMap<String, i64>) -> Result<()> {
+    struct Edge {
+        sends: u64,
+        recvs: u64,
+        buffer: String,
+    }
+    // Resolve every op's rank domain first; any dynamic bound disables the
+    // whole check (a partial graph would produce false mismatches).
+    let mut domains: Vec<(usize, i64, i64)> = Vec::new();
+    let mut n_ranks: i64 = 0;
+    for (idx, op) in f.comm.iter().enumerate() {
+        if matches!(op.kind, CommKind::Barrier) {
+            // Barriers are global in this reproduction (every rank executes
+            // each one exactly once), so arity is uniform by construction.
+            continue;
+        }
+        let (Some(lo), Some(hi)) = (
+            eval_comm_expr(&op.iter.lo, &op.iter.name, 0, params),
+            eval_comm_expr(&op.iter.hi, &op.iter.name, 0, params),
+        ) else {
+            return Ok(());
+        };
+        domains.push((idx, lo.max(0), hi));
+        n_ranks = n_ranks.max(hi);
+    }
+    if domains.is_empty() || n_ranks > MAX_STATIC_RANKS {
+        return Ok(());
+    }
+
+    let mut edges: BTreeMap<(i64, i64), Edge> = BTreeMap::new();
+    for (idx, lo, hi) in domains {
+        let op = &f.comm[idx];
+        for r in lo..hi {
+            let partner = match &op.kind {
+                CommKind::Send { dest, .. } => dest,
+                CommKind::Recv { src } => src,
+                CommKind::Barrier => unreachable!(),
+            };
+            let Some(p) = eval_comm_expr(partner, &op.iter.name, r, params) else {
+                return Ok(());
+            };
+            // Out-of-range partners are skipped by the runtime (guarded
+            // edge-of-rank-space ops); mirror that.
+            if p < 0 || p >= n_ranks {
+                continue;
+            }
+            let key = match op.kind {
+                CommKind::Send { .. } => (r, p),
+                _ => (p, r),
+            };
+            let e = edges.entry(key).or_insert_with(|| Edge {
+                sends: 0,
+                recvs: 0,
+                buffer: op.buffer.clone(),
+            });
+            match op.kind {
+                CommKind::Send { .. } => e.sends += 1,
+                _ => e.recvs += 1,
+            }
+        }
+    }
+    for ((src, dst), e) in &edges {
+        if e.sends != e.recvs {
+            return Err(Error::Illegal(format!(
+                "communication mismatch on buffer '{}': rank {src} sends {} \
+                 message(s) to rank {dst}, which posts {} matching receive(s)",
+                e.buffer, e.sends, e.recvs
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Evaluates a Layer IV expression with the op iterator bound to
+/// `iter_val` and parameters bound to `params`. `None` means "not
+/// statically evaluable" (foreign iterators, accesses, floats).
+fn eval_comm_expr(
+    e: &Expr,
+    iter_name: &str,
+    iter_val: i64,
+    params: &HashMap<String, i64>,
+) -> Option<i64> {
+    let ev = |x: &Expr| eval_comm_expr(x, iter_name, iter_val, params);
+    match e {
+        Expr::I64(v) => Some(*v),
+        Expr::Iter(n) if n == iter_name => Some(iter_val),
+        Expr::Param(p) => params.get(p).copied(),
+        Expr::Bin(op, a, b) => {
+            let (a, b) = (ev(a)?, ev(b)?);
+            Some(match op {
+                Op::Add => a.checked_add(b)?,
+                Op::Sub => a.checked_sub(b)?,
+                Op::Mul => a.checked_mul(b)?,
+                Op::Div => a.checked_div(b)?,
+                Op::Rem => a.checked_rem(b)?,
+                Op::Min => a.min(b),
+                Op::Max => a.max(b),
+                Op::Lt => i64::from(a < b),
+                Op::Le => i64::from(a <= b),
+                Op::Eq => i64::from(a == b),
+                Op::And => i64::from(a != 0 && b != 0),
+                Op::Or => i64::from(a != 0 || b != 0),
+            })
+        }
+        Expr::Un(crate::expr::UnOp::Neg, a) => ev(a)?.checked_neg(),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n: i64) -> HashMap<String, i64> {
+        HashMap::from([("Nodes".to_string(), n)])
+    }
+
+    fn ring(f: &mut Function, with_recv: bool) {
+        let is = Var::new("is", Expr::i64(1), Expr::param("Nodes"));
+        f.send(
+            is,
+            "buf",
+            Expr::i64(0),
+            Expr::i64(1),
+            Expr::iter("is") - Expr::i64(1),
+            true,
+        );
+        if with_recv {
+            let ir = Var::new("ir", Expr::i64(0), Expr::param("Nodes") - Expr::i64(1));
+            f.receive(
+                ir,
+                "buf",
+                Expr::i64(0),
+                Expr::i64(1),
+                Expr::iter("ir") + Expr::i64(1),
+            );
+        }
+    }
+
+    #[test]
+    fn matched_ring_passes() {
+        let mut f = Function::new("ok", &["Nodes"]);
+        ring(&mut f, true);
+        f.barrier();
+        assert!(validate_comm(&f, &params(4)).is_ok());
+    }
+
+    #[test]
+    fn missing_receive_is_illegal() {
+        let mut f = Function::new("bad", &["Nodes"]);
+        ring(&mut f, false);
+        let err = validate_comm(&f, &params(4)).unwrap_err();
+        match err {
+            Error::Illegal(msg) => {
+                assert!(msg.contains("buffer 'buf'"), "{msg}");
+                assert!(msg.contains("0 matching receive"), "{msg}");
+            }
+            other => panic!("expected Illegal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_param_bails_out_conservatively() {
+        let mut f = Function::new("dyn", &["Nodes"]);
+        ring(&mut f, false);
+        // No bindings: bounds do not evaluate, so the check abstains.
+        assert!(validate_comm(&f, &HashMap::new()).is_ok());
+    }
+
+    #[test]
+    fn comm_free_program_passes() {
+        let mut f = Function::new("quiet", &["Nodes"]);
+        f.barrier();
+        assert!(validate_comm(&f, &params(3)).is_ok());
     }
 }

@@ -284,7 +284,7 @@ mod tests {
         let mut f = Function::new("t", &["N"]);
         let i = f.var("i", 0, Expr::param("N"));
         let bx = f
-            .computation("bx", &[i.clone()], Expr::f32(1.0))
+            .computation("bx", std::slice::from_ref(&i), Expr::f32(1.0))
             .unwrap();
         let i2 = f.var("i", 0, Expr::param("N") - Expr::i64(1));
         let read = f.access(bx, &[Expr::iter("i")])
@@ -317,7 +317,7 @@ mod tests {
         // Shifting by by one iteration legalizes it (classic).
         let mut f = Function::new("t", &["N"]);
         let i = f.var("i", 0, Expr::param("N"));
-        let bx = f.computation("bx", &[i.clone()], Expr::f32(1.0)).unwrap();
+        let bx = f.computation("bx", std::slice::from_ref(&i), Expr::f32(1.0)).unwrap();
         let i2 = f.var("i", 0, Expr::param("N") - Expr::i64(1));
         let read = f.access(bx, &[Expr::iter("i") + Expr::i64(1)]);
         let by = f.computation("by", &[i2], read).unwrap();
@@ -357,7 +357,7 @@ mod tests {
         let r = f
             .computation(
                 "R",
-                &[i.clone()],
+                std::slice::from_ref(&i),
                 f.access(img, &[Expr::iter("i") - Expr::i64(1)])
                     + f.access(img, &[Expr::iter("i") + Expr::i64(1)]),
             )

@@ -112,8 +112,8 @@ pub fn full_schedule(f: &Function, comp: CompId, depth: usize) -> Result<BasicMa
     // column 2k+1. sched columns: [in, dyn(d), params, 1].
     for con in c.sched.constraints() {
         let mut row = vec![0i64; total];
-        for i in 0..n_in {
-            row[i] = con.aff.coeff(i);
+        for (i, r) in row.iter_mut().enumerate().take(n_in) {
+            *r = con.aff.coeff(i);
         }
         for k in 0..d {
             row[n_in + 2 * k + 1] = con.aff.coeff(n_in + k);
@@ -202,8 +202,8 @@ mod tests {
     fn full_schedule_interleaves_betas() {
         let mut f = Function::new("t", &["N"]);
         let i = f.var("i", 0, Expr::param("N"));
-        let a = f.computation("A", &[i.clone()], Expr::f32(1.0)).unwrap();
-        let _b = f.computation("B", &[i.clone()], Expr::f32(2.0)).unwrap();
+        let a = f.computation("A", std::slice::from_ref(&i), Expr::f32(1.0)).unwrap();
+        let _b = f.computation("B", std::slice::from_ref(&i), Expr::f32(2.0)).unwrap();
         let low = lower(&f).unwrap();
         assert_eq!(low.m, 3); // [b0, t0, b1]
         // A at beta0 = 0, B at beta0 = 1: check via the schedules' images.
@@ -223,7 +223,7 @@ mod tests {
         let mut f = Function::new("t", &["N"]);
         let i = f.var("i", 0, Expr::param("N"));
         let j = f.var("j", 0, Expr::param("N"));
-        let a = f.computation("A", &[i.clone()], Expr::f32(1.0)).unwrap();
+        let a = f.computation("A", std::slice::from_ref(&i), Expr::f32(1.0)).unwrap();
         let _b = f.computation("B", &[i.clone(), j.clone()], Expr::f32(2.0)).unwrap();
         let low = lower(&f).unwrap();
         assert_eq!(low.depth, 2);
@@ -256,8 +256,8 @@ mod tests {
         // differently; only fused loops must agree (checked per AST node).
         let mut f = Function::new("t", &["N"]);
         let i = f.var("i", 0, Expr::param("N"));
-        let a = f.computation("A", &[i.clone()], Expr::f32(1.0)).unwrap();
-        let b = f.computation("B", &[i.clone()], Expr::f32(2.0)).unwrap();
+        let a = f.computation("A", std::slice::from_ref(&i), Expr::f32(1.0)).unwrap();
+        let b = f.computation("B", std::slice::from_ref(&i), Expr::f32(2.0)).unwrap();
         f.parallelize(a, "i").unwrap();
         let _inner = f.vectorize(b, "i", 8).unwrap();
         assert!(lower(&f).is_ok());
@@ -268,10 +268,10 @@ mod tests {
         let mut f = Function::new("t", &[]);
         let i = f.var("i", 0, 10);
         let a = f
-            .computation("A", &[i.clone()], Expr::cast_f32(Expr::iter("i")))
+            .computation("A", std::slice::from_ref(&i), Expr::cast_f32(Expr::iter("i")))
             .unwrap();
         let acc = f.access(a, &[Expr::iter("i")]);
-        let _b = f.computation("B", &[i.clone()], acc).unwrap();
+        let _b = f.computation("B", std::slice::from_ref(&i), acc).unwrap();
         f.inline(a).unwrap();
         let low = lower(&f).unwrap();
         assert_eq!(low.stmts.len(), 1);
@@ -347,7 +347,7 @@ mod dump_tests {
     fn dump_layers_mentions_all_layers() {
         let mut f = Function::new("t", &["N"]);
         let i = f.var("i", 0, Expr::param("N"));
-        let a = f.computation("A", &[i.clone()], Expr::f32(1.0)).unwrap();
+        let a = f.computation("A", std::slice::from_ref(&i), Expr::f32(1.0)).unwrap();
         f.parallelize(a, "i").unwrap();
         let is = crate::function::Var::new("is", Expr::i64(1), Expr::param("N"));
         let _ = f.send(is, "A", Expr::i64(0), Expr::i64(1), Expr::i64(0), true);

@@ -310,7 +310,7 @@ impl Function {
     // Ordering and locality
     // -----------------------------------------------------------------
 
-    /// `C.after(B, at)`: orders C after B. With [`At::Level(i)`] the two
+    /// `C.after(B, at)`: orders C after B. With [`At::Level`]`(i)` the two
     /// computations share all loops strictly outside level `i` (of B) and
     /// C's `i` loop is placed after B's; with [`At::Root`] C's whole nest
     /// follows B's.
@@ -325,9 +325,8 @@ impl Function {
         };
         let b_betas = self.comps[b.index()].betas.clone();
         let c = &mut self.comps[comp.index()];
-        for k in 0..l.min(c.betas.len()).min(b_betas.len()) {
-            c.betas[k] = b_betas[k];
-        }
+        let m = l.min(c.betas.len()).min(b_betas.len());
+        c.betas[..m].copy_from_slice(&b_betas[..m]);
         if l < c.betas.len() && l < b_betas.len() {
             c.betas[l] = b_betas[l] + 1;
         }
@@ -345,9 +344,8 @@ impl Function {
         let l = self.level(b, i)?;
         let b_betas = self.comps[b.index()].betas.clone();
         let c = &mut self.comps[comp.index()];
-        for k in 0..=l.min(c.betas.len() - 1).min(b_betas.len() - 1) {
-            c.betas[k] = b_betas[k];
-        }
+        let m = (l + 1).min(c.betas.len()).min(b_betas.len());
+        c.betas[..m].copy_from_slice(&b_betas[..m]);
         if l + 1 < c.betas.len() {
             c.betas[l + 1] = b_betas.get(l + 1).copied().unwrap_or(0) + 1;
         }
@@ -408,8 +406,8 @@ impl Function {
             for k in 0..n_pref {
                 coeffs[n_p + k] = con.aff.coeff(k);
             }
-            for k in 0..n_p {
-                coeffs[k] = con.aff.coeff(n_pref + k);
+            for (k, c) in coeffs.iter_mut().enumerate().take(n_p) {
+                *c = con.aff.coeff(n_pref + k);
             }
             let n_params = self.params.len();
             for q in 0..n_params {
@@ -735,8 +733,8 @@ fn strip_mine_map(
         let mut shift = 0usize;
         // Number of splits among the out dims: outer dims of split levels
         // appear contiguously at the original position block.
-        for k in 0..old_names.len() {
-            out_pos[k] = k + shift;
+        for (k, pos) in out_pos.iter_mut().enumerate() {
+            *pos = k + shift;
             if splits.iter().any(|(l, _)| *l == k) {
                 shift += 1;
             }
@@ -752,7 +750,9 @@ fn strip_mine_map(
     // use an explicit search: for split level k (old name at k), outer dim
     // index = position in new_names of the dim that keeps pass-through
     // alignment. To stay unambiguous we recompute positions directly:
-    let mut assignments: Vec<(usize, usize, Option<(usize, i64)>)> = Vec::new();
+    // (old dim, new outer dim, optional (new inner dim, factor)).
+    type Assignment = (usize, usize, Option<(usize, i64)>);
+    let mut assignments: Vec<Assignment> = Vec::new();
     {
         // Walk old dims in order and new dims in order; a split old dim
         // consumes 2 new dims *within its splice block*.
@@ -863,8 +863,8 @@ pub(crate) fn access_map(
         if let Some(aff) = e.as_affine(&host.iters, params) {
             // out_k = aff(in, params)
             let mut row = vec![0i64; n];
-            for d in 0..n_in {
-                row[d] = -aff.coeff(d);
+            for (d, r) in row.iter_mut().enumerate().take(n_in) {
+                *r = -aff.coeff(d);
             }
             for q in 0..params.len() {
                 row[n_in + n_out + q] = -aff.coeff(n_in + q);
@@ -994,8 +994,8 @@ mod tests {
     fn after_orders_statements() {
         let mut f = Function::new("t", &["N"]);
         let i = f.var("i", 0, Expr::param("N"));
-        let a = f.computation("A", &[i.clone()], Expr::f32(1.0)).unwrap();
-        let b = f.computation("B", &[i.clone()], Expr::f32(2.0)).unwrap();
+        let a = f.computation("A", std::slice::from_ref(&i), Expr::f32(1.0)).unwrap();
+        let b = f.computation("B", std::slice::from_ref(&i), Expr::f32(2.0)).unwrap();
         // Fresh comps already ordered: beta0 0 and 1. Fuse them at level i:
         f.fuse_after(b, a, "i").unwrap();
         assert_eq!(f.comp(b).betas[0], f.comp(a).betas[0]);
@@ -1032,9 +1032,9 @@ mod tests {
     fn inline_substitutes() {
         let mut f = Function::new("t", &[]);
         let i = f.var("i", 0, 10);
-        let a = f.computation("A", &[i.clone()], Expr::cast_f32(Expr::iter("i"))).unwrap();
+        let a = f.computation("A", std::slice::from_ref(&i), Expr::cast_f32(Expr::iter("i"))).unwrap();
         let acc = f.access(a, &[Expr::iter("i") + Expr::i64(1)]);
-        let b = f.computation("B", &[i.clone()], acc * Expr::f32(2.0)).unwrap();
+        let b = f.computation("B", std::slice::from_ref(&i), acc * Expr::f32(2.0)).unwrap();
         f.inline(a).unwrap();
         assert!(f.comp(a).inlined);
         // B's expr no longer accesses A.
@@ -1048,10 +1048,10 @@ mod tests {
         // linking constraint.
         let mut f = Function::new("t", &["N"]);
         let i = f.var("i", 0, Expr::param("N"));
-        let bx = f.computation("bx", &[i.clone()], Expr::f32(1.0)).unwrap();
+        let bx = f.computation("bx", std::slice::from_ref(&i), Expr::f32(1.0)).unwrap();
         let read = f.access(bx, &[Expr::iter("i")])
             + f.access(bx, &[Expr::iter("i") + Expr::i64(1)]);
-        let by = f.computation("by", &[i.clone()], read).unwrap();
+        let by = f.computation("by", std::slice::from_ref(&i), read).unwrap();
         f.compute_at(bx, by, "i").unwrap();
         let c = f.comp(bx);
         assert_eq!(c.dyn_names.len(), 2); // host prefix + own dim

@@ -398,14 +398,14 @@ fn eval(code: &Code, ctx: &mut WarpCtx<'_>, mask: [bool; WARP]) -> Result<()> {
             }
             Op::UnF(op) => {
                 let a = ctx.vfstack.last_mut().unwrap();
-                for l in 0..WARP {
-                    a[l] = apply_un_f(op, a[l]);
+                for x in a.iter_mut() {
+                    *x = apply_un_f(op, *x);
                 }
             }
             Op::UnI(op) => {
                 let a = ctx.vistack.last_mut().unwrap();
-                for l in 0..WARP {
-                    a[l] = apply_un_i(op, a[l]);
+                for x in a.iter_mut() {
+                    *x = apply_un_i(op, *x);
                 }
             }
             Op::SelF => {

@@ -113,8 +113,8 @@ pub fn hpcg_spmv_reference(n: i64) -> Prepared {
 pub fn hpcg_waxpby_tiramisu(n: i64, alpha: f32, beta: f32) -> tiramisu::Result<Prepared> {
     let mut f = Function::new("waxpby", &["N"]);
     let i = f.var("i", 0, E::param("N"));
-    let x = f.input("x", &[i.clone()]).unwrap();
-    let y = f.input("y", &[i.clone()]).unwrap();
+    let x = f.input("x", std::slice::from_ref(&i)).unwrap();
+    let y = f.input("y", std::slice::from_ref(&i)).unwrap();
     let w = f
         .computation(
             "w",
@@ -141,8 +141,8 @@ pub fn hpcg_waxpby_tiramisu(n: i64, alpha: f32, beta: f32) -> tiramisu::Result<P
 pub fn hpcg_dot_tiramisu(n: i64) -> tiramisu::Result<Prepared> {
     let mut f = Function::new("dot", &["N"]);
     let i = f.var("i", 0, E::param("N"));
-    let x = f.input("x", &[i.clone()]).unwrap();
-    let y = f.input("y", &[i.clone()]).unwrap();
+    let x = f.input("x", std::slice::from_ref(&i)).unwrap();
+    let y = f.input("y", std::slice::from_ref(&i)).unwrap();
     let dot_id = CompId::from_raw(2);
     let d = f
         .computation(
@@ -209,7 +209,7 @@ pub fn baryon(t_extent: i64, vectorize: bool, name: &str) -> tiramisu::Result<Pr
     let p2 = f.input("P2", &[b.clone(), t.clone()]).unwrap();
     let p3 = f.input("P3", &[a.clone(), t.clone()]).unwrap();
     let out_buf = f.buffer("Bout", &[E::param("T")]);
-    let init = f.computation("b_init", &[t.clone()], E::f32(0.0)).unwrap();
+    let init = f.computation("b_init", std::slice::from_ref(&t), E::f32(0.0)).unwrap();
     f.store_in(init, out_buf, &[E::iter("t")]);
     let upd_id = CompId::from_raw(5);
     // upd(t, a, b): reduction over (a, b) — previous value read at b-1

@@ -66,7 +66,7 @@ fn conv_layer1(s: ConvSize, specialize: bool) -> (Function, CompId) {
             ],
         )
         .unwrap();
-    let bias = fun.input("bias", &[f.clone()]).unwrap();
+    let bias = fun.input("bias", std::slice::from_ref(&f)).unwrap();
 
     let out_buf = fun.buffer(
         "out",

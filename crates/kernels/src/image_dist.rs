@@ -55,6 +55,43 @@ impl DistPrep {
         )
         .map_err(|e| tiramisu::Error::Backend(e.to_string()))
     }
+
+    /// Runs on the simulated cluster under full [`mpisim::RunOptions`]
+    /// control — fault injection, retry policy, watchdog — with the same
+    /// seeded inputs as [`DistPrep::run`]. The `finish` hook sees each
+    /// rank's machine after a successful run (e.g. to snapshot output
+    /// buffers for bit-exact comparison against a fault-free reference).
+    ///
+    /// Unlike [`DistPrep::run`] this returns the structured
+    /// [`mpisim::DistError`] so callers can distinguish deadlocks,
+    /// injected crashes, and exhausted retries.
+    ///
+    /// # Errors
+    ///
+    /// Any [`mpisim::DistError`] from the cluster.
+    pub fn run_with_opts(
+        &self,
+        opts: &mpisim::RunOptions,
+        finish: impl Fn(usize, &loopvm::Machine) + Sync,
+    ) -> Result<DistStats, mpisim::DistError> {
+        let bufs: Vec<_> = self
+            .inputs
+            .iter()
+            .map(|n| self.module.vm_buffer(n).expect("input buffer"))
+            .collect();
+        mpisim::run_with_opts(
+            &self.module.dist,
+            self.ranks,
+            &CommModel::default(),
+            opts,
+            |_rank, machine| {
+                for (k, b) in bufs.iter().enumerate() {
+                    crate::fill_buffer(machine.buffer_mut(*b), 0x5EED + k as u64);
+                }
+            },
+            finish,
+        )
+    }
 }
 
 /// Builds the Tiramisu distributed variant of a named benchmark for
@@ -168,7 +205,7 @@ pub fn tiramisu_dist_opts(
     let module = tiramisu::compile_dist(
         &f,
         &params(s),
-        DistOptions { check_legality: false },
+        DistOptions { check_legality: false, check_comm: true },
     )?;
     Ok(DistPrep {
         name: "Tiramisu".into(),

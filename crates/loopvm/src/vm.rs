@@ -941,14 +941,14 @@ fn veval<const STATS: bool>(
             }
             Op::UnF(op) => {
                 let a = ctx.vfstack.last_mut().unwrap();
-                for l in 0..LANES {
-                    a[l] = apply_un_f(op, a[l]);
+                for x in a.iter_mut() {
+                    *x = apply_un_f(op, *x);
                 }
             }
             Op::UnI(op) => {
                 let a = ctx.vistack.last_mut().unwrap();
-                for l in 0..LANES {
-                    a[l] = apply_un_i(op, a[l]);
+                for x in a.iter_mut() {
+                    *x = apply_un_i(op, *x);
                 }
             }
             Op::SelF => {

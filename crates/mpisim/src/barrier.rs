@@ -1,0 +1,148 @@
+//! A poison-aware, timeout-capable barrier.
+//!
+//! `std::sync::Barrier` has no failure story: if one rank errors out and
+//! never arrives, every peer blocks forever. This barrier adds the two
+//! escape hatches the fault-tolerant runtime needs: a failing rank
+//! [`poison`](PoisonBarrier::poison)s the barrier (waking and failing all
+//! current and future waiters), and each wait carries a deadline so a
+//! genuinely mismatched barrier (one rank simply executes fewer barriers)
+//! surfaces as a timeout instead of a hang.
+
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Outcome of a [`PoisonBarrier::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BarrierWait {
+    /// All participants arrived; proceed.
+    Released,
+    /// A participant poisoned the barrier (it failed and will never
+    /// arrive).
+    Poisoned,
+    /// The deadline elapsed before all participants arrived.
+    TimedOut,
+}
+
+struct State {
+    count: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+/// Barrier over `n` participants that survives participant failure.
+pub struct PoisonBarrier {
+    n: usize,
+    state: Mutex<State>,
+    cvar: Condvar,
+}
+
+impl PoisonBarrier {
+    /// A barrier for `n` participants.
+    pub fn new(n: usize) -> Self {
+        PoisonBarrier {
+            n,
+            state: Mutex::new(State { count: 0, generation: 0, poisoned: false }),
+            cvar: Condvar::new(),
+        }
+    }
+
+    /// Marks the barrier failed, waking every waiter with
+    /// [`BarrierWait::Poisoned`]. All future waits fail immediately.
+    pub fn poison(&self) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.poisoned = true;
+        self.cvar.notify_all();
+    }
+
+    /// Waits until all `n` participants arrive, the barrier is poisoned,
+    /// or `timeout` elapses.
+    pub fn wait(&self, timeout: Duration) -> BarrierWait {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if st.poisoned {
+            return BarrierWait::Poisoned;
+        }
+        let generation = st.generation;
+        st.count += 1;
+        if st.count == self.n {
+            st.count = 0;
+            st.generation += 1;
+            self.cvar.notify_all();
+            return BarrierWait::Released;
+        }
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                // Back out so a late arrival doesn't release a short group.
+                st.count = st.count.saturating_sub(1);
+                return BarrierWait::TimedOut;
+            }
+            let (guard, _res) = self
+                .cvar
+                .wait_timeout(st, remaining.min(Duration::from_millis(50)))
+                .unwrap_or_else(PoisonError::into_inner);
+            st = guard;
+            if st.generation != generation {
+                return BarrierWait::Released;
+            }
+            if st.poisoned {
+                return BarrierWait::Poisoned;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn releases_when_all_arrive() {
+        let b = Arc::new(PoisonBarrier::new(3));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || b.wait(Duration::from_secs(5)))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), BarrierWait::Released);
+        }
+    }
+
+    #[test]
+    fn poison_wakes_waiters() {
+        let b = Arc::new(PoisonBarrier::new(2));
+        let waiter = {
+            let b = Arc::clone(&b);
+            std::thread::spawn(move || b.wait(Duration::from_secs(30)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        b.poison();
+        assert_eq!(waiter.join().unwrap(), BarrierWait::Poisoned);
+        // Later arrivals fail fast.
+        assert_eq!(b.wait(Duration::from_secs(30)), BarrierWait::Poisoned);
+    }
+
+    #[test]
+    fn lone_waiter_times_out() {
+        let b = PoisonBarrier::new(2);
+        let start = Instant::now();
+        assert_eq!(b.wait(Duration::from_millis(80)), BarrierWait::TimedOut);
+        assert!(start.elapsed() >= Duration::from_millis(80));
+    }
+
+    #[test]
+    fn reusable_across_generations() {
+        let b = Arc::new(PoisonBarrier::new(2));
+        for _ in 0..3 {
+            let w = {
+                let b = Arc::clone(&b);
+                std::thread::spawn(move || b.wait(Duration::from_secs(5)))
+            };
+            assert_eq!(b.wait(Duration::from_secs(5)), BarrierWait::Released);
+            assert_eq!(w.join().unwrap(), BarrierWait::Released);
+        }
+    }
+}

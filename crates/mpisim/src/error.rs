@@ -1,0 +1,172 @@
+//! Structured failure types for the distributed runtime.
+//!
+//! Every way a simulated cluster run can fail is a [`DistError`] variant:
+//! VM faults, injected crashes, exhausted retransmissions, watchdog-detected
+//! deadlocks, and genuine rank panics (captured via `catch_unwind`, never
+//! propagated as a raw panic to the caller). When several ranks fail in one
+//! run, [`DistError::from_failures`] distils a root cause: ranks that were
+//! merely cancelled because a peer failed first are reported as context, not
+//! as the headline error.
+
+use std::fmt;
+
+/// What a rank was blocked on when the progress watchdog fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitingOn {
+    /// Blocked in a `Recv` for a message from this rank.
+    RecvFrom(usize),
+    /// Blocked in a synchronous `Send` waiting for this rank's ack.
+    AckFrom(usize),
+    /// Blocked in a `Barrier` that never completed.
+    Barrier,
+}
+
+impl fmt::Display for WaitingOn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WaitingOn::RecvFrom(r) => write!(f, "receive from rank {r}"),
+            WaitingOn::AckFrom(r) => write!(f, "ack from rank {r}"),
+            WaitingOn::Barrier => write!(f, "barrier"),
+        }
+    }
+}
+
+/// One rank's failure within a cluster run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankFailure {
+    /// The failing rank.
+    pub rank: usize,
+    /// What went wrong on that rank.
+    pub error: DistError,
+}
+
+/// Per-rank failure report for a run where more than one rank failed.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClusterReport {
+    /// Failures in rank order.
+    pub failures: Vec<RankFailure>,
+}
+
+impl ClusterReport {
+    /// The first failure that is not a secondary cancellation, if any.
+    pub fn root_cause(&self) -> Option<&RankFailure> {
+        self.failures
+            .iter()
+            .find(|f| !matches!(f.error, DistError::Cancelled { .. }))
+            .or_else(|| self.failures.first())
+    }
+}
+
+/// A failure of a distributed run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// A rank's VM execution failed.
+    Vm {
+        /// The failing rank.
+        rank: usize,
+        /// The underlying VM error.
+        source: loopvm::Error,
+    },
+    /// The progress watchdog declared a rank stuck.
+    Deadlock {
+        /// The stuck rank.
+        rank: usize,
+        /// The operation it was blocked on.
+        waiting_on: WaitingOn,
+        /// The rank-local statement step at which it blocked.
+        step: u64,
+    },
+    /// A fault plan killed this rank before its `step`-th statement.
+    Crash {
+        /// The crashed rank.
+        rank: usize,
+        /// The statement step the crash pre-empted.
+        step: u64,
+    },
+    /// A rank's thread panicked; the payload was captured.
+    Panic {
+        /// The panicking rank.
+        rank: usize,
+        /// The panic message (payload rendered to a string).
+        message: String,
+    },
+    /// A sender gave up after the retry budget was exhausted.
+    RetriesExhausted {
+        /// The sending rank.
+        rank: usize,
+        /// The destination rank.
+        peer: usize,
+        /// Sequence number of the undeliverable message.
+        seq: u64,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// This rank aborted because another rank failed first.
+    Cancelled {
+        /// The cancelled rank.
+        rank: usize,
+    },
+    /// Static communication validation found mismatched send/recv pairs or
+    /// non-uniform barrier arity.
+    CommMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// Multiple primary failures; see the per-rank report.
+    Cluster(ClusterReport),
+}
+
+impl DistError {
+    /// Folds per-rank failures into a single error: one primary failure is
+    /// returned directly (cancellations are context, not causes); several
+    /// primaries become a [`DistError::Cluster`] report.
+    ///
+    /// Returns `None` when `failures` is empty.
+    pub fn from_failures(failures: Vec<RankFailure>) -> Option<DistError> {
+        let primaries: Vec<&RankFailure> = failures
+            .iter()
+            .filter(|f| !matches!(f.error, DistError::Cancelled { .. }))
+            .collect();
+        match primaries.len() {
+            0 => failures.first().map(|f| f.error.clone()),
+            1 => Some(primaries[0].error.clone()),
+            _ => Some(DistError::Cluster(ClusterReport { failures })),
+        }
+    }
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::Vm { rank, source } => write!(f, "rank {rank}: vm error: {source:?}"),
+            DistError::Deadlock { rank, waiting_on, step } => {
+                write!(f, "deadlock: rank {rank} stuck at step {step} waiting on {waiting_on}")
+            }
+            DistError::Crash { rank, step } => {
+                write!(f, "rank {rank} crashed (injected) before step {step}")
+            }
+            DistError::Panic { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+            DistError::RetriesExhausted { rank, peer, seq, attempts } => write!(
+                f,
+                "rank {rank}: message seq {seq} to rank {peer} undeliverable after {attempts} attempts"
+            ),
+            DistError::Cancelled { rank } => {
+                write!(f, "rank {rank} cancelled after a peer failure")
+            }
+            DistError::CommMismatch { detail } => {
+                write!(f, "communication mismatch: {detail}")
+            }
+            DistError::Cluster(report) => {
+                write!(f, "{} ranks failed:", report.failures.len())?;
+                for rf in &report.failures {
+                    write!(f, " [{}]", rf.error)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for DistError {}

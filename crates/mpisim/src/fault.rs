@@ -1,0 +1,242 @@
+//! Deterministic fault injection for the simulated cluster.
+//!
+//! A [`FaultPlan`] is a pure function from `(seed, src, dst, seq, attempt)`
+//! to a fault decision — no wall-clock randomness anywhere, so a failing
+//! seed reproduces exactly. The plan also carries rank-crash schedules
+//! ("rank r dies before executing its k-th statement") and the modeled
+//! extra cycles an injected delay costs.
+//!
+//! The retry protocol ([`RetryPolicy`]) is costed, not slept: every
+//! retransmission attempt pays the [`crate::CommModel`] wire cost plus an
+//! exponentially growing backoff, all in modeled cycles, so fault-heavy
+//! runs stay fast in wall-clock terms while the reported communication
+//! time reflects the recovery work.
+
+/// The fault injected into one transmission attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Deliver normally.
+    None,
+    /// The message is lost in transit; the sender must retransmit.
+    Drop,
+    /// The payload is corrupted in transit; the receiver's checksum check
+    /// rejects it and the sender must retransmit.
+    Corrupt,
+    /// The message is delivered twice; the receiver's sequence-number
+    /// dedupe discards the second copy.
+    Duplicate,
+    /// The message is delivered after an extra modeled delay.
+    Delay,
+}
+
+/// Deterministic, seed-driven fault schedule.
+///
+/// Probabilities are per transmission attempt and cumulative — their sum
+/// must stay at or below 1.0. All decisions hash `(seed, src, dst, seq,
+/// attempt)`, so two runs with the same plan inject exactly the same
+/// faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed feeding every fault decision.
+    pub seed: u64,
+    /// Probability a transmission attempt is dropped.
+    pub drop: f64,
+    /// Probability a transmission attempt is corrupted.
+    pub corrupt: f64,
+    /// Probability a delivery is duplicated.
+    pub duplicate: f64,
+    /// Probability a delivery is delayed.
+    pub delay: f64,
+    /// Modeled extra cycles added by one injected delay.
+    pub delay_cycles: f64,
+    /// Ranks killed before executing their `step`-th statement.
+    pub crashes: Vec<(usize, u64)>,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults enabled.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop: 0.0,
+            corrupt: 0.0,
+            duplicate: 0.0,
+            delay: 0.0,
+            delay_cycles: 0.0,
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Sets the per-attempt drop probability.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop = p;
+        self
+    }
+
+    /// Sets the per-attempt corruption probability.
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        self.corrupt = p;
+        self
+    }
+
+    /// Sets the per-delivery duplication probability.
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        self.duplicate = p;
+        self
+    }
+
+    /// Sets the per-delivery delay probability and its modeled cost.
+    pub fn with_delay(mut self, p: f64, cycles: f64) -> Self {
+        self.delay = p;
+        self.delay_cycles = cycles;
+        self
+    }
+
+    /// Schedules `rank` to die before executing its `step`-th statement.
+    pub fn crash_at(mut self, rank: usize, step: u64) -> Self {
+        self.crashes.push((rank, step));
+        self
+    }
+
+    /// True when any message fault has nonzero probability.
+    pub fn any_message_faults(&self) -> bool {
+        self.drop > 0.0 || self.corrupt > 0.0 || self.duplicate > 0.0 || self.delay > 0.0
+    }
+
+    /// The crash step scheduled for `rank`, if any (earliest wins).
+    pub fn crash_step(&self, rank: usize) -> Option<u64> {
+        self.crashes.iter().filter(|(r, _)| *r == rank).map(|(_, s)| *s).min()
+    }
+
+    /// The fault injected into transmission `attempt` of message `seq`
+    /// from `src` to `dst`. Pure and deterministic.
+    pub fn decide(&self, src: usize, dst: usize, seq: u64, attempt: u32) -> Fault {
+        if !self.any_message_faults() {
+            return Fault::None;
+        }
+        let mut h = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((src as u64) << 48)
+            .wrapping_add((dst as u64) << 32)
+            .wrapping_add(seq << 8)
+            .wrapping_add(attempt as u64);
+        h = splitmix64(&mut h);
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        let mut edge = self.drop;
+        if u < edge {
+            return Fault::Drop;
+        }
+        edge += self.corrupt;
+        if u < edge {
+            return Fault::Corrupt;
+        }
+        edge += self.duplicate;
+        if u < edge {
+            return Fault::Duplicate;
+        }
+        edge += self.delay;
+        if u < edge {
+            return Fault::Delay;
+        }
+        Fault::None
+    }
+}
+
+/// Bounded-retry policy with exponential backoff, costed in modeled
+/// cycles through the communication model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum transmission attempts per message (including the first).
+    pub max_attempts: u32,
+    /// Modeled backoff cycles charged after the first failed attempt.
+    pub backoff_base: f64,
+    /// Multiplier applied to the backoff after each further failure.
+    pub backoff_factor: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        // Backoff starts at one wire latency (CommModel::default) and
+        // doubles: 4k, 8k, 16k, ... cycles.
+        RetryPolicy { max_attempts: 5, backoff_base: 4000.0, backoff_factor: 2.0 }
+    }
+}
+
+impl RetryPolicy {
+    /// Modeled backoff cycles charged after failed attempt number
+    /// `attempt` (0-based).
+    pub fn backoff_cycles(&self, attempt: u32) -> f64 {
+        self.backoff_base * self.backoff_factor.powi(attempt as i32)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a byte slice — the payload checksum carried by every
+/// message and verified by the receiver.
+pub(crate) fn checksum(data: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for &b in data {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan = FaultPlan::new(42).with_drop(0.3).with_corrupt(0.1);
+        for seq in 0..64 {
+            for attempt in 0..4 {
+                assert_eq!(
+                    plan.decide(1, 2, seq, attempt),
+                    plan.decide(1, 2, seq, attempt)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_plan_never_faults() {
+        let plan = FaultPlan::new(7);
+        for seq in 0..256 {
+            assert_eq!(plan.decide(0, 1, seq, 0), Fault::None);
+        }
+    }
+
+    #[test]
+    fn drop_rate_roughly_matches_probability() {
+        let plan = FaultPlan::new(13).with_drop(0.5);
+        let drops = (0..1000)
+            .filter(|&seq| plan.decide(0, 1, seq, 0) == Fault::Drop)
+            .count();
+        assert!((350..=650).contains(&drops), "drops = {drops}");
+    }
+
+    #[test]
+    fn crash_schedule_earliest_wins() {
+        let plan = FaultPlan::new(0).crash_at(2, 9).crash_at(2, 4).crash_at(1, 7);
+        assert_eq!(plan.crash_step(2), Some(4));
+        assert_eq!(plan.crash_step(1), Some(7));
+        assert_eq!(plan.crash_step(0), None);
+    }
+
+    #[test]
+    fn checksum_detects_flips() {
+        let data = vec![1u8, 2, 3, 4, 5];
+        let mut flipped = data.clone();
+        flipped[3] ^= 0x40;
+        assert_ne!(checksum(&data), checksum(&flipped));
+    }
+}

@@ -1,7 +1,7 @@
 #![warn(missing_docs)]
 
-//! `mpisim` — a distributed-memory message-passing runtime: the MPI
-//! substitute of the Tiramisu reproduction.
+//! `mpisim` — a fault-tolerant distributed-memory message-passing runtime:
+//! the MPI substitute of the Tiramisu reproduction.
 //!
 //! The paper's distributed results (Figure 6 bottom, Figure 7) are driven
 //! by **communication volume** — distributed Halide over-estimates the
@@ -22,14 +22,61 @@
 //! rank conditionals (paper §V-A: "each distributed loop is converted into
 //! a conditional based on the MPI rank") and `send()`/`receive()`
 //! operations to [`DistStmt::Send`]/[`DistStmt::Recv`].
+//!
+//! # Fault tolerance
+//!
+//! The runtime is hardened against the failure modes a real cluster
+//! exhibits, all simulated deterministically:
+//!
+//! - **Fault injection** ([`FaultPlan`]): message drop, payload
+//!   corruption, duplication, delivery delay, and rank-crash-at-step,
+//!   every decision a pure hash of `(seed, src, dst, seq, attempt)` — no
+//!   wall-clock randomness, so failing seeds replay exactly.
+//! - **Reliable delivery**: every message carries a sequence number and an
+//!   FNV-1a payload checksum. Receivers discard corrupt copies (checksum
+//!   mismatch) and duplicate copies (sequence-number high-water dedupe);
+//!   senders retransmit under a bounded [`RetryPolicy`] whose exponential
+//!   backoff is *costed, not slept* — each attempt pays the [`CommModel`]
+//!   wire cost plus backoff cycles, so recovery work shows up in
+//!   `comm_cycles` while tests stay fast. Because the fault schedule is a
+//!   shared deterministic function, the sender models its retransmission
+//!   schedule directly instead of waiting on timeout round-trips; the
+//!   receiver-side checksum and dedupe checks independently enforce the
+//!   protocol invariants on everything that crosses the wire.
+//! - **Progress watchdog**: every blocking operation (receive, rendezvous
+//!   ack, barrier) carries a deadline. A rank stuck past
+//!   [`RunOptions::watchdog`] fails with a structured
+//!   [`DistError::Deadlock`] naming the rank, the operation it was
+//!   blocked on, and the statement step — instead of hanging the suite.
+//! - **Failure containment**: rank bodies run under `catch_unwind`; a
+//!   panicking rank is reported as [`DistError::Panic`] with its payload,
+//!   peers are cancelled via a shared error flag, and ranks blocked in a
+//!   barrier are woken by poisoning it ([`PoisonBarrier`]) rather than
+//!   deadlocking against a participant that will never arrive.
+//! - **Static validation** ([`validate_comm`]): before launch, rank-affine
+//!   programs have their full communication graph enumerated and checked —
+//!   every send matched by a receive per directed rank pair, barrier arity
+//!   uniform — turning the classic hang-at-runtime bugs into
+//!   [`DistError::CommMismatch`] diagnostics.
 
 use bytes::{Bytes, BytesMut};
 use loopvm::{eval_scalar, BufId, Expr, Machine, Program, RunStats, Stmt, Var};
 use parking_lot::Mutex;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier as StdBarrier};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+mod barrier;
+mod error;
+mod fault;
+mod validate;
+
+pub use barrier::{BarrierWait, PoisonBarrier};
+pub use error::{ClusterReport, DistError, RankFailure, WaitingOn};
+pub use fault::{Fault, FaultPlan, RetryPolicy};
+pub use validate::validate_comm;
 
 /// Communication cost model (cycles; same unit as the VM cost model).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -116,62 +163,237 @@ pub struct DistProgram {
 pub struct DistStats {
     /// Per-rank VM statistics (compute cycles under the CPU cost model).
     pub compute: Vec<RunStats>,
-    /// Per-rank bytes sent.
+    /// Per-rank bytes put on the wire (including retransmissions and
+    /// duplicate deliveries under fault injection).
     pub bytes_sent: Vec<u64>,
-    /// Per-rank messages sent.
+    /// Per-rank messages put on the wire.
     pub messages: Vec<u64>,
-    /// Per-rank modeled communication cycles.
+    /// Per-rank modeled communication cycles (including retry backoff and
+    /// injected delays).
     pub comm_cycles: Vec<f64>,
+    /// Per-rank retransmission attempts beyond each message's first.
+    pub retries: Vec<u64>,
+    /// Per-rank injected drops encountered while sending.
+    pub drops: Vec<u64>,
+    /// Per-rank duplicate deliveries discarded by sequence-number dedupe.
+    pub redeliveries: Vec<u64>,
+    /// Per-rank deliveries discarded for checksum mismatch.
+    pub corrupt_dropped: Vec<u64>,
     /// Modeled cluster time: `max_r (compute_cycles_r + comm_cycles_r)`.
     pub modeled_cycles: f64,
     /// Wall-clock of the threaded execution.
     pub wall: std::time::Duration,
 }
 
+impl DistStats {
+    /// Total retransmission attempts across ranks.
+    pub fn total_retries(&self) -> u64 {
+        self.retries.iter().sum()
+    }
+
+    /// Total injected drops across ranks.
+    pub fn total_drops(&self) -> u64 {
+        self.drops.iter().sum()
+    }
+}
+
+/// Execution options for [`run_with_opts`].
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Collect detailed VM statistics (slower compute path).
+    pub stats_mode: bool,
+    /// Fault schedule to inject; `None` runs fault-free.
+    pub faults: Option<FaultPlan>,
+    /// Retransmission policy for dropped/corrupted messages.
+    pub retry: RetryPolicy,
+    /// Progress watchdog: a rank blocked longer than this on any single
+    /// receive, rendezvous ack, or barrier fails with
+    /// [`DistError::Deadlock`].
+    pub watchdog: Duration,
+    /// Poll granularity for watchdog/cancellation checks while blocked.
+    pub poll: Duration,
+    /// Statically validate the communication graph before launch.
+    pub validate: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            stats_mode: false,
+            faults: None,
+            retry: RetryPolicy::default(),
+            watchdog: Duration::from_secs(5),
+            poll: Duration::from_millis(10),
+            validate: true,
+        }
+    }
+}
+
 struct Message {
     src: usize,
+    /// Per-(src, dst) sequence number for dedupe.
+    seq: u64,
+    /// FNV-1a of the (uncorrupted) payload.
+    checksum: u32,
     payload: Bytes,
     /// Present for synchronous sends: the sender blocks until signalled.
     ack: Option<crossbeam::channel::Sender<()>>,
+}
+
+/// Why a blocking wait gave up.
+enum WaitFail {
+    /// The watchdog deadline elapsed.
+    Timeout,
+    /// A peer failed; this rank should abort.
+    Cancelled,
+}
+
+/// Receiver-side verdict on one wire message.
+enum Screen {
+    Accept,
+    CorruptDrop,
+    Redelivery,
 }
 
 struct Inbox {
     rx: crossbeam::channel::Receiver<Message>,
     /// Out-of-order messages waiting for a matching `Recv`.
     stash: VecDeque<Message>,
+    /// Next expected sequence number per source rank.
+    expected: HashMap<usize, u64>,
+}
+
+/// Mutable per-rank counters threaded through send/recv handling.
+#[derive(Default)]
+struct RankCounters {
+    bytes_sent: u64,
+    messages: u64,
+    comm_cycles: f64,
+    retries: u64,
+    drops: u64,
+    redeliveries: u64,
+    corrupt_dropped: u64,
+}
+
+struct RankOutcome {
+    compute: RunStats,
+    counters: RankCounters,
 }
 
 impl Inbox {
-    fn recv_from(&mut self, src: usize) -> Message {
-        if let Some(pos) = self.stash.iter().position(|m| m.src == src) {
-            return self.stash.remove(pos).unwrap();
+    /// Checksum-verifies and dedupes one wire message.
+    fn screen(&mut self, msg: &Message) -> Screen {
+        if fault::checksum(&msg.payload) != msg.checksum {
+            return Screen::CorruptDrop;
+        }
+        let expected = self.expected.entry(msg.src).or_insert(0);
+        if msg.seq < *expected {
+            return Screen::Redelivery;
+        }
+        *expected = msg.seq + 1;
+        Screen::Accept
+    }
+
+    /// Blocks until an acceptable message from `src` arrives, screening
+    /// out corrupt and duplicate copies, stashing messages from other
+    /// sources, and respecting the watchdog deadline and the shared
+    /// error flag.
+    fn recv_from(
+        &mut self,
+        src: usize,
+        deadline: Instant,
+        poll: Duration,
+        error_flag: &AtomicU64,
+        comm: &CommModel,
+        counters: &mut RankCounters,
+    ) -> Result<Message, WaitFail> {
+        // Drain matching stash entries first (arrival order preserved).
+        let mut pos = 0;
+        while pos < self.stash.len() {
+            if self.stash[pos].src != src {
+                pos += 1;
+                continue;
+            }
+            let msg = self.stash.remove(pos).unwrap();
+            counters.comm_cycles += comm.latency + comm.per_byte * msg.payload.len() as f64;
+            match self.screen(&msg) {
+                Screen::Accept => return Ok(msg),
+                Screen::CorruptDrop => counters.corrupt_dropped += 1,
+                Screen::Redelivery => counters.redeliveries += 1,
+            }
         }
         loop {
-            let m = self.rx.recv().expect("sender disconnected");
-            if m.src == src {
-                return m;
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(WaitFail::Timeout);
             }
-            self.stash.push_back(m);
+            match self.rx.recv_timeout(remaining.min(poll)) {
+                Ok(msg) => {
+                    if msg.src != src {
+                        self.stash.push_back(msg);
+                        continue;
+                    }
+                    counters.comm_cycles +=
+                        comm.latency + comm.per_byte * msg.payload.len() as f64;
+                    match self.screen(&msg) {
+                        Screen::Accept => return Ok(msg),
+                        Screen::CorruptDrop => counters.corrupt_dropped += 1,
+                        Screen::Redelivery => counters.redeliveries += 1,
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    if error_flag.load(Ordering::Relaxed) != 0 {
+                        return Err(WaitFail::Cancelled);
+                    }
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                    return Err(WaitFail::Cancelled);
+                }
+            }
         }
     }
 }
 
-/// Runs a distributed program on `n_ranks` simulated nodes.
+/// Waits for a rendezvous ack with watchdog and cancellation checks.
+fn wait_ack(
+    rx: &crossbeam::channel::Receiver<()>,
+    deadline: Instant,
+    poll: Duration,
+    error_flag: &AtomicU64,
+) -> Result<(), WaitFail> {
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(WaitFail::Timeout);
+        }
+        match rx.recv_timeout(remaining.min(poll)) {
+            Ok(()) => return Ok(()),
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                if error_flag.load(Ordering::Relaxed) != 0 {
+                    return Err(WaitFail::Cancelled);
+                }
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                return Err(WaitFail::Cancelled);
+            }
+        }
+    }
+}
+
+/// Runs a distributed program on `n_ranks` simulated nodes (fault-free).
 ///
 /// # Errors
 ///
-/// VM errors from any rank (first error wins) and malformed send/recv
-/// expressions.
-///
-/// # Panics
-///
-/// Panics if a rank thread panics.
+/// Any [`DistError`]: VM errors from a rank, malformed send/recv
+/// expressions, static communication mismatches, or watchdog-detected
+/// deadlocks. Rank panics are captured and reported as
+/// [`DistError::Panic`] — this function does not propagate them.
 pub fn run(
     dist: &DistProgram,
     n_ranks: usize,
     comm: &CommModel,
     stats_mode: bool,
-) -> loopvm::Result<DistStats> {
+) -> Result<DistStats, DistError> {
     run_with_init(dist, n_ranks, comm, stats_mode, |_, _| {})
 }
 
@@ -181,64 +403,132 @@ pub fn run(
 /// # Errors
 ///
 /// Same as [`run`].
-///
-/// # Panics
-///
-/// Panics if a rank thread panics.
 pub fn run_with_init(
     dist: &DistProgram,
     n_ranks: usize,
     comm: &CommModel,
     stats_mode: bool,
     init: impl Fn(usize, &mut Machine) + Sync,
-) -> loopvm::Result<DistStats> {
+) -> Result<DistStats, DistError> {
+    let opts = RunOptions { stats_mode, ..RunOptions::default() };
+    run_with_opts(dist, n_ranks, comm, &opts, init, |_, _| {})
+}
+
+/// Fully-configurable execution: fault injection, retry policy, watchdog
+/// and validation via [`RunOptions`], plus per-rank `init` (before
+/// execution, e.g. scatter inputs) and `finish` (after successful
+/// execution, e.g. gather outputs for comparison) hooks.
+///
+/// # Errors
+///
+/// Any [`DistError`]. When several ranks fail, secondary cancellations
+/// are folded away and the root cause is returned; genuinely independent
+/// multi-rank failures come back as [`DistError::Cluster`].
+pub fn run_with_opts(
+    dist: &DistProgram,
+    n_ranks: usize,
+    comm: &CommModel,
+    opts: &RunOptions,
+    init: impl Fn(usize, &mut Machine) + Sync,
+    finish: impl Fn(usize, &Machine) + Sync,
+) -> Result<DistStats, DistError> {
     assert!(n_ranks >= 1);
+    if opts.validate {
+        validate::validate_comm(dist, n_ranks)?;
+    }
     let init = &init;
+    let finish = &finish;
     let mut senders = Vec::with_capacity(n_ranks);
     let mut inboxes = Vec::with_capacity(n_ranks);
     for _ in 0..n_ranks {
         let (tx, rx) = crossbeam::channel::unbounded::<Message>();
         senders.push(tx);
-        inboxes.push(Mutex::new(Inbox { rx, stash: VecDeque::new() }));
+        inboxes.push(Mutex::new(Inbox {
+            rx,
+            stash: VecDeque::new(),
+            expected: HashMap::new(),
+        }));
     }
     let senders = Arc::new(senders);
     let inboxes = Arc::new(inboxes);
-    let barrier = Arc::new(StdBarrier::new(n_ranks));
+    let barrier = Arc::new(PoisonBarrier::new(n_ranks));
     let error_flag = Arc::new(AtomicU64::new(0));
 
     let start = Instant::now();
-    let results: Vec<loopvm::Result<(RunStats, u64, u64, f64)>> =
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(n_ranks);
-            for rank in 0..n_ranks {
-                let senders = Arc::clone(&senders);
-                let inboxes = Arc::clone(&inboxes);
-                let barrier = Arc::clone(&barrier);
-                let error_flag = Arc::clone(&error_flag);
-                handles.push(scope.spawn(move |_| {
+    let results: Vec<Result<RankOutcome, DistError>> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n_ranks);
+        for rank in 0..n_ranks {
+            let senders = Arc::clone(&senders);
+            let inboxes = Arc::clone(&inboxes);
+            let barrier = Arc::clone(&barrier);
+            let error_flag = Arc::clone(&error_flag);
+            handles.push(scope.spawn(move |_| {
+                let result = catch_unwind(AssertUnwindSafe(|| {
                     run_rank(
-                        dist, rank, n_ranks, comm, stats_mode, &senders, &inboxes, &barrier,
-                        &error_flag, init,
+                        dist, rank, n_ranks, comm, opts, &senders, &inboxes, &barrier,
+                        &error_flag, init, finish,
                     )
-                }));
-            }
-            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
-        })
-        .expect("thread scope failed");
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(DistError::Panic { rank, message: panic_message(&*payload) })
+                });
+                if result.is_err() {
+                    // Wake peers: computing ranks see the flag between
+                    // statements, blocked ranks via poll slices, barrier
+                    // waiters via poisoning.
+                    error_flag.store(1, Ordering::Relaxed);
+                    barrier.poison();
+                }
+                result
+            }));
+        }
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| {
+                h.join().unwrap_or_else(|payload| {
+                    Err(DistError::Panic { rank, message: panic_message(&*payload) })
+                })
+            })
+            .collect()
+    })
+    .expect("thread scope failed");
     let wall = start.elapsed();
 
+    let mut failures = Vec::new();
     let mut stats = DistStats { wall, ..Default::default() };
     let mut modeled: f64 = 0.0;
-    for r in results {
-        let (compute, bytes, msgs, comm_cycles) = r?;
-        modeled = modeled.max(compute.cycles + comm_cycles);
-        stats.compute.push(compute);
-        stats.bytes_sent.push(bytes);
-        stats.messages.push(msgs);
-        stats.comm_cycles.push(comm_cycles);
+    for (rank, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(out) => {
+                modeled = modeled.max(out.compute.cycles + out.counters.comm_cycles);
+                stats.compute.push(out.compute);
+                stats.bytes_sent.push(out.counters.bytes_sent);
+                stats.messages.push(out.counters.messages);
+                stats.comm_cycles.push(out.counters.comm_cycles);
+                stats.retries.push(out.counters.retries);
+                stats.drops.push(out.counters.drops);
+                stats.redeliveries.push(out.counters.redeliveries);
+                stats.corrupt_dropped.push(out.counters.corrupt_dropped);
+            }
+            Err(e) => failures.push(RankFailure { rank, error: e }),
+        }
+    }
+    if let Some(e) = DistError::from_failures(failures) {
+        return Err(e);
     }
     stats.modeled_cycles = modeled;
     Ok(stats)
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -247,20 +537,22 @@ fn run_rank(
     rank: usize,
     n_ranks: usize,
     comm: &CommModel,
-    stats_mode: bool,
+    opts: &RunOptions,
     senders: &[crossbeam::channel::Sender<Message>],
     inboxes: &[Mutex<Inbox>],
-    barrier: &StdBarrier,
+    barrier: &PoisonBarrier,
     error_flag: &AtomicU64,
     init: &(impl Fn(usize, &mut Machine) + Sync),
-) -> loopvm::Result<(RunStats, u64, u64, f64)> {
+    finish: &(impl Fn(usize, &Machine) + Sync),
+) -> Result<RankOutcome, DistError> {
     let mut machine = Machine::new(&dist.program);
     init(rank, &mut machine);
     let mut compute = RunStats::default();
-    let mut bytes_sent = 0u64;
-    let mut messages = 0u64;
-    let mut comm_cycles = 0.0f64;
+    let mut counters = RankCounters::default();
     let bindings = [(dist.rank_var, rank as i64)];
+    let crash_step = opts.faults.as_ref().and_then(|p| p.crash_step(rank));
+    let mut seqs: HashMap<usize, u64> = HashMap::new();
+    let vm = |e: loopvm::Error| DistError::Vm { rank, source: e };
 
     let exec = |machine: &mut Machine,
                 compute: &mut RunStats,
@@ -270,7 +562,7 @@ fn run_rank(
             vec![Stmt::let_(dist.rank_var, Expr::i64(rank as i64))];
         body.extend_from_slice(&dist.preamble);
         body.extend_from_slice(stmts);
-        let s = if stats_mode {
+        let s = if opts.stats_mode {
             machine.run_body_with_stats(&dist.program, &body)?
         } else {
             machine.run_body(&dist.program, &body)?
@@ -285,41 +577,55 @@ fn run_rank(
         Ok(())
     };
 
-    let mut stack: Vec<&[DistStmt]> = vec![&dist.body];
     // Iterative interpretation via an explicit work list of (slice, pos).
+    let mut step = 0u64;
     let mut frames: Vec<(&[DistStmt], usize)> = vec![(&dist.body, 0)];
-    stack.clear();
     while let Some((body, pos)) = frames.pop() {
-        if error_flag.load(Ordering::Relaxed) != 0 {
-            break;
-        }
         if pos >= body.len() {
             continue;
         }
+        if error_flag.load(Ordering::Relaxed) != 0 {
+            return Err(DistError::Cancelled { rank });
+        }
+        if crash_step == Some(step) {
+            // Simulated process death: the rank stops mid-program, without
+            // reaching its remaining sends/recvs/barriers. Peers recover
+            // via the watchdog and barrier poisoning.
+            return Err(DistError::Crash { rank, step });
+        }
         frames.push((body, pos + 1));
+        step += 1;
         match &body[pos] {
             DistStmt::Compute(stmts) => {
-                if let Err(e) = exec(&mut machine, &mut compute, stmts) {
-                    error_flag.store(1, Ordering::Relaxed);
-                    return Err(e);
-                }
+                exec(&mut machine, &mut compute, stmts).map_err(vm)?;
             }
             DistStmt::If { cond, body: inner } => {
-                let c = eval_scalar(&dist.program, cond, &bindings)?;
+                let c = eval_scalar(&dist.program, cond, &bindings).map_err(vm)?;
                 if c != 0 {
                     frames.push((inner, 0));
                 }
             }
-            DistStmt::Barrier => {
-                barrier.wait();
-            }
+            DistStmt::Barrier => match barrier.wait(opts.watchdog) {
+                BarrierWait::Released => {}
+                BarrierWait::Poisoned => {
+                    return Err(DistError::Cancelled { rank });
+                }
+                BarrierWait::TimedOut => {
+                    return Err(DistError::Deadlock {
+                        rank,
+                        waiting_on: WaitingOn::Barrier,
+                        step: step - 1,
+                    });
+                }
+            },
             DistStmt::Send { dest, buf, offset, count, asynchronous } => {
-                let d = eval_scalar(&dist.program, dest, &bindings)?;
+                let d = eval_scalar(&dist.program, dest, &bindings).map_err(vm)?;
                 if d < 0 || d as usize >= n_ranks {
                     continue;
                 }
-                let off = eval_scalar(&dist.program, offset, &bindings)?;
-                let cnt = eval_scalar(&dist.program, count, &bindings)?;
+                let d = d as usize;
+                let off = eval_scalar(&dist.program, offset, &bindings).map_err(vm)?;
+                let cnt = eval_scalar(&dist.program, count, &bindings).map_err(vm)?;
                 let data = machine.buffer(*buf);
                 let lo = off.max(0) as usize;
                 let hi = ((off + cnt).max(0) as usize).min(data.len());
@@ -327,31 +633,34 @@ fn run_rank(
                 for &v in &data[lo..hi] {
                     payload.extend_from_slice(&v.to_le_bytes());
                 }
-                let nbytes = payload.len();
-                bytes_sent += nbytes as u64;
-                messages += 1;
-                comm_cycles += comm.latency + comm.per_byte * nbytes as f64;
-                let (ack_tx, ack_rx) = if *asynchronous {
-                    (None, None)
-                } else {
-                    let (t, r) = crossbeam::channel::bounded::<()>(1);
-                    (Some(t), Some(r))
-                };
-                senders[d as usize]
-                    .send(Message { src: rank, payload: payload.freeze(), ack: ack_tx })
-                    .expect("receiver disconnected");
-                if let Some(r) = ack_rx {
-                    let _ = r.recv();
-                }
+                let payload = payload.freeze();
+                let seq_slot = seqs.entry(d).or_insert(0);
+                let seq = *seq_slot;
+                *seq_slot += 1;
+                transmit(
+                    rank, d, seq, &payload, *asynchronous, comm, opts, senders,
+                    error_flag, &mut counters, step - 1,
+                )?;
             }
             DistStmt::Recv { src, buf, offset, count } => {
-                let s = eval_scalar(&dist.program, src, &bindings)?;
+                let s = eval_scalar(&dist.program, src, &bindings).map_err(vm)?;
                 if s < 0 || s as usize >= n_ranks {
                     continue;
                 }
-                let off = eval_scalar(&dist.program, offset, &bindings)?;
-                let cnt = eval_scalar(&dist.program, count, &bindings)?;
-                let msg = inboxes[rank].lock().recv_from(s as usize);
+                let off = eval_scalar(&dist.program, offset, &bindings).map_err(vm)?;
+                let cnt = eval_scalar(&dist.program, count, &bindings).map_err(vm)?;
+                let deadline = Instant::now() + opts.watchdog;
+                let msg = inboxes[rank]
+                    .lock()
+                    .recv_from(s as usize, deadline, opts.poll, error_flag, comm, &mut counters)
+                    .map_err(|w| match w {
+                        WaitFail::Timeout => DistError::Deadlock {
+                            rank,
+                            waiting_on: WaitingOn::RecvFrom(s as usize),
+                            step: step - 1,
+                        },
+                        WaitFail::Cancelled => DistError::Cancelled { rank },
+                    })?;
                 if let Some(ack) = msg.ack {
                     let _ = ack.send(());
                 }
@@ -365,11 +674,129 @@ fn run_rank(
                     let b = &msg.payload[k * 4..k * 4 + 4];
                     dst[lo + k] = f32::from_le_bytes([b[0], b[1], b[2], b[3]]);
                 }
-                comm_cycles += comm.latency + comm.per_byte * msg.payload.len() as f64;
             }
         }
     }
-    Ok((compute, bytes_sent, messages, comm_cycles))
+    finish(rank, &machine);
+    Ok(RankOutcome { compute, counters })
+}
+
+/// Delivers one logical message, injecting faults and retransmitting
+/// under the retry policy. Every wire attempt is accounted in bytes,
+/// messages, and modeled cycles.
+#[allow(clippy::too_many_arguments)]
+fn transmit(
+    rank: usize,
+    dest: usize,
+    seq: u64,
+    payload: &Bytes,
+    asynchronous: bool,
+    comm: &CommModel,
+    opts: &RunOptions,
+    senders: &[crossbeam::channel::Sender<Message>],
+    error_flag: &AtomicU64,
+    counters: &mut RankCounters,
+    step: u64,
+) -> Result<(), DistError> {
+    let nbytes = payload.len();
+    let wire_cost = comm.latency + comm.per_byte * nbytes as f64;
+    let good_sum = fault::checksum(payload);
+    let mut attempt = 0u32;
+    loop {
+        let fault = opts
+            .faults
+            .as_ref()
+            .map_or(Fault::None, |p| p.decide(rank, dest, seq, attempt));
+        counters.bytes_sent += nbytes as u64;
+        counters.messages += 1;
+        counters.comm_cycles += wire_cost;
+        let failed = match fault {
+            Fault::Drop => {
+                // Lost in transit: the wire time was spent, nothing
+                // arrives.
+                counters.drops += 1;
+                true
+            }
+            Fault::Corrupt => {
+                // Deliver a tampered copy (correct checksum field, flipped
+                // payload byte) so the receiver's verification genuinely
+                // runs; it will discard and we retransmit.
+                let mut bad = BytesMut::with_capacity(nbytes);
+                bad.extend_from_slice(payload);
+                if !bad.is_empty() {
+                    let idx = (seq as usize).wrapping_add(attempt as usize) % bad.len();
+                    bad[idx] ^= 0x2A;
+                }
+                let _ = senders[dest].send(Message {
+                    src: rank,
+                    seq,
+                    checksum: good_sum,
+                    payload: bad.freeze(),
+                    ack: None,
+                });
+                true
+            }
+            Fault::None | Fault::Delay | Fault::Duplicate => {
+                if fault == Fault::Delay {
+                    if let Some(p) = opts.faults.as_ref() {
+                        counters.comm_cycles += p.delay_cycles;
+                    }
+                }
+                let (ack_tx, ack_rx) = if asynchronous {
+                    (None, None)
+                } else {
+                    let (t, r) = crossbeam::channel::bounded::<()>(1);
+                    (Some(t), Some(r))
+                };
+                let _ = senders[dest].send(Message {
+                    src: rank,
+                    seq,
+                    checksum: good_sum,
+                    payload: payload.clone(),
+                    ack: ack_tx,
+                });
+                if fault == Fault::Duplicate {
+                    // A second good copy; the receiver's dedupe drops it.
+                    counters.bytes_sent += nbytes as u64;
+                    counters.messages += 1;
+                    counters.comm_cycles += wire_cost;
+                    let _ = senders[dest].send(Message {
+                        src: rank,
+                        seq,
+                        checksum: good_sum,
+                        payload: payload.clone(),
+                        ack: None,
+                    });
+                }
+                if let Some(r) = ack_rx {
+                    let deadline = Instant::now() + opts.watchdog;
+                    wait_ack(&r, deadline, opts.poll, error_flag).map_err(|w| match w {
+                        WaitFail::Timeout => DistError::Deadlock {
+                            rank,
+                            waiting_on: WaitingOn::AckFrom(dest),
+                            step,
+                        },
+                        WaitFail::Cancelled => DistError::Cancelled { rank },
+                    })?;
+                }
+                false
+            }
+        };
+        if !failed {
+            return Ok(());
+        }
+        counters.retries += 1;
+        counters.comm_cycles += opts.retry.backoff_cycles(attempt);
+        attempt += 1;
+        if attempt >= opts.retry.max_attempts {
+            return Err(DistError::RetriesExhausted {
+                rank,
+                peer: dest,
+                seq,
+                attempts: attempt,
+            });
+        }
+    }
 }
 
 #[cfg(test)]
@@ -423,6 +850,9 @@ mod tests {
         // Ranks 1..3 send 4 bytes each; rank 3 receives nothing (no rank 4).
         assert_eq!(stats.bytes_sent, vec![0, 4, 4, 4]);
         assert_eq!(stats.messages, vec![0, 1, 1, 1]);
+        // Fault-free runs report clean reliability counters.
+        assert_eq!(stats.total_retries(), 0);
+        assert_eq!(stats.total_drops(), 0);
     }
 
     #[test]
@@ -518,5 +948,326 @@ mod tests {
         // Only rank 2 executed the store.
         let stores: Vec<u64> = stats.compute.iter().map(|c| c.stores).collect();
         assert_eq!(stores, vec![0, 0, 1, 0]);
+    }
+
+    fn fast_watchdog() -> RunOptions {
+        RunOptions {
+            watchdog: Duration::from_millis(400),
+            poll: Duration::from_millis(5),
+            ..RunOptions::default()
+        }
+    }
+
+    /// rank 0 posts a receive that no one will ever satisfy. Statically
+    /// validated programs reject this before launch; with validation off
+    /// the watchdog converts the hang into a structured deadlock.
+    fn orphan_recv_program() -> DistProgram {
+        let mut p = Program::new();
+        let b = p.buffer("b", 4);
+        let rank = p.var("rank");
+        DistProgram {
+            program: p,
+            rank_var: rank,
+            preamble: vec![],
+            body: vec![DistStmt::If {
+                cond: Expr::eq(Expr::var(rank), Expr::i64(0)),
+                body: vec![DistStmt::Recv {
+                    src: Expr::i64(1),
+                    buf: b,
+                    offset: Expr::i64(0),
+                    count: Expr::i64(1),
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn unmatched_recv_rejected_statically() {
+        let prog = orphan_recv_program();
+        let err = run(&prog, 2, &CommModel::default(), false).unwrap_err();
+        assert!(
+            matches!(err, DistError::CommMismatch { .. }),
+            "expected CommMismatch, got {err}"
+        );
+    }
+
+    #[test]
+    fn unmatched_recv_caught_by_watchdog() {
+        // Pre-hardening this configuration hung forever.
+        let prog = orphan_recv_program();
+        let opts = RunOptions { validate: false, ..fast_watchdog() };
+        let err = run_with_opts(&prog, 2, &CommModel::default(), &opts, |_, _| {}, |_, _| {})
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DistError::Deadlock { rank: 0, waiting_on: WaitingOn::RecvFrom(1), step: 1 }
+        );
+    }
+
+    #[test]
+    fn mismatched_barrier_arity_rejected_statically() {
+        let mut p = Program::new();
+        let _b = p.buffer("b", 1);
+        let rank = p.var("rank");
+        let prog = DistProgram {
+            program: p,
+            rank_var: rank,
+            preamble: vec![],
+            body: vec![DistStmt::If {
+                cond: Expr::eq(Expr::var(rank), Expr::i64(0)),
+                body: vec![DistStmt::Barrier],
+            }],
+        };
+        let err = run(&prog, 2, &CommModel::default(), false).unwrap_err();
+        assert!(
+            matches!(err, DistError::CommMismatch { .. }),
+            "expected CommMismatch, got {err}"
+        );
+    }
+
+    #[test]
+    fn mismatched_barrier_caught_by_watchdog() {
+        let mut p = Program::new();
+        let _b = p.buffer("b", 1);
+        let rank = p.var("rank");
+        let prog = DistProgram {
+            program: p,
+            rank_var: rank,
+            preamble: vec![],
+            body: vec![DistStmt::If {
+                cond: Expr::eq(Expr::var(rank), Expr::i64(0)),
+                body: vec![DistStmt::Barrier],
+            }],
+        };
+        let opts = RunOptions { validate: false, ..fast_watchdog() };
+        let err = run_with_opts(&prog, 2, &CommModel::default(), &opts, |_, _| {}, |_, _| {})
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DistError::Deadlock { rank: 0, waiting_on: WaitingOn::Barrier, .. }
+            ),
+            "expected barrier deadlock, got {err}"
+        );
+    }
+
+    #[test]
+    fn drops_are_retried_transparently() {
+        let prog = ring_program(4);
+        let baseline = run(&prog, 4, &CommModel::default(), false).unwrap();
+        let opts = RunOptions {
+            faults: Some(FaultPlan::new(1).with_drop(0.5)),
+            ..fast_watchdog()
+        };
+        let stats =
+            run_with_opts(&prog, 4, &CommModel::default(), &opts, |_, _| {}, |_, _| {})
+                .unwrap();
+        assert!(stats.total_drops() > 0, "plan injected no drops; pick a new seed");
+        assert!(stats.total_retries() >= stats.total_drops());
+        // Recovery is costed: more wire bytes and cycles than fault-free.
+        assert!(
+            stats.bytes_sent.iter().sum::<u64>() > baseline.bytes_sent.iter().sum::<u64>()
+        );
+        assert!(
+            stats.comm_cycles.iter().sum::<f64>() > baseline.comm_cycles.iter().sum::<f64>()
+        );
+    }
+
+    #[test]
+    fn corruption_detected_and_retransmitted() {
+        let prog = ring_program(4);
+        let opts = RunOptions {
+            faults: Some(FaultPlan::new(3).with_corrupt(0.5)),
+            ..fast_watchdog()
+        };
+        let stats =
+            run_with_opts(&prog, 4, &CommModel::default(), &opts, |_, _| {}, |_, _| {})
+                .unwrap();
+        assert!(
+            stats.corrupt_dropped.iter().sum::<u64>() > 0,
+            "plan injected no corruption; pick a new seed"
+        );
+        assert_eq!(stats.total_retries(), stats.corrupt_dropped.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn duplicates_are_deduped() {
+        // Two back-to-back messages on the same edge: the duplicate copy
+        // of the first is consumed (and discarded by sequence-number
+        // dedupe) while the receiver waits for the second.
+        let mut p = Program::new();
+        let b = p.buffer("b", 4);
+        let rank = p.var("rank");
+        let send = |idx: i64| DistStmt::Send {
+            dest: Expr::i64(1),
+            buf: b,
+            offset: Expr::i64(idx),
+            count: Expr::i64(1),
+            asynchronous: true,
+        };
+        let recv = |idx: i64| DistStmt::Recv {
+            src: Expr::i64(0),
+            buf: b,
+            offset: Expr::i64(idx),
+            count: Expr::i64(1),
+        };
+        let prog = DistProgram {
+            program: p,
+            rank_var: rank,
+            preamble: vec![],
+            body: vec![
+                DistStmt::Compute(vec![Stmt::store(b, Expr::i64(0), Expr::f32(1.5))]),
+                DistStmt::If {
+                    cond: Expr::eq(Expr::var(rank), Expr::i64(0)),
+                    body: vec![send(0), send(1)],
+                },
+                DistStmt::If {
+                    cond: Expr::eq(Expr::var(rank), Expr::i64(1)),
+                    body: vec![recv(2), recv(3)],
+                },
+            ],
+        };
+        let opts = RunOptions {
+            faults: Some(FaultPlan::new(17).with_duplicate(1.0)),
+            ..fast_watchdog()
+        };
+        let stats =
+            run_with_opts(&prog, 2, &CommModel::default(), &opts, |_, _| {}, |_, _| {})
+                .unwrap();
+        assert!(
+            stats.redeliveries.iter().sum::<u64>() > 0,
+            "receiver never observed a duplicate"
+        );
+        // Dedupe happened on the receive side; no retries were needed.
+        assert_eq!(stats.total_retries(), 0);
+        // Every wire copy was doubled by the fault plan.
+        assert_eq!(stats.messages[0], 4);
+    }
+
+    #[test]
+    fn hundred_percent_drop_exhausts_retries() {
+        let prog = ring_program(4);
+        let opts = RunOptions {
+            faults: Some(FaultPlan::new(1).with_drop(1.0)),
+            ..fast_watchdog()
+        };
+        let err =
+            run_with_opts(&prog, 4, &CommModel::default(), &opts, |_, _| {}, |_, _| {})
+                .unwrap_err();
+        // Several ranks fail independently (each sender exhausts retries);
+        // the report keeps them all.
+        match err {
+            DistError::RetriesExhausted { attempts, .. } => {
+                assert_eq!(attempts, RetryPolicy::default().max_attempts);
+            }
+            DistError::Cluster(report) => {
+                assert!(report
+                    .failures
+                    .iter()
+                    .any(|f| matches!(f.error, DistError::RetriesExhausted { .. })));
+            }
+            other => panic!("expected retry exhaustion, got {other}"),
+        }
+    }
+
+    #[test]
+    fn injected_crash_reported_with_step() {
+        let prog = ring_program(4);
+        // Kill rank 2 before its barrier (step 1): peers deadlock at the
+        // barrier and are cancelled; the crash is the root cause.
+        let opts = RunOptions {
+            faults: Some(FaultPlan::new(0).crash_at(2, 1)),
+            ..fast_watchdog()
+        };
+        let err =
+            run_with_opts(&prog, 4, &CommModel::default(), &opts, |_, _| {}, |_, _| {})
+                .unwrap_err();
+        match err {
+            DistError::Crash { rank, step } => {
+                assert_eq!((rank, step), (2, 1));
+            }
+            DistError::Cluster(report) => {
+                let root = report.root_cause().expect("nonempty report");
+                assert!(
+                    matches!(root.error, DistError::Crash { rank: 2, step: 1 })
+                        || matches!(root.error, DistError::Deadlock { .. }),
+                    "unexpected root cause: {}",
+                    root.error
+                );
+            }
+            other => panic!("expected crash, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rank_panic_is_captured_not_propagated() {
+        let prog = ring_program(4);
+        let opts = fast_watchdog();
+        let err = run_with_opts(
+            &prog,
+            4,
+            &CommModel::default(),
+            &opts,
+            |rank, _machine| {
+                if rank == 1 {
+                    panic!("boom on rank 1");
+                }
+            },
+            |_, _| {},
+        )
+        .unwrap_err();
+        match err {
+            DistError::Panic { rank, message } => {
+                assert_eq!(rank, 1);
+                assert!(message.contains("boom"), "message = {message}");
+            }
+            DistError::Cluster(report) => {
+                let root = report.root_cause().expect("nonempty report");
+                assert!(matches!(root.error, DistError::Panic { rank: 1, .. }));
+            }
+            other => panic!("expected captured panic, got {other}"),
+        }
+    }
+
+    #[test]
+    fn faulty_run_produces_identical_output() {
+        // Bit-identical halo contents under heavy injected faults.
+        let prog = ring_program(6);
+        let data = prog.program.buffer_by_name("data").unwrap();
+        let capture = |opts: &RunOptions| -> (DistStats, Vec<Vec<f32>>) {
+            let out = Mutex::new(vec![Vec::new(); 4]);
+            let stats = run_with_opts(
+                &prog,
+                4,
+                &CommModel::default(),
+                opts,
+                |_, _| {},
+                |rank, machine| {
+                    out.lock()[rank] = machine.buffer(data).to_vec();
+                },
+            )
+            .unwrap();
+            (stats, out.into_inner())
+        };
+        let (clean_stats, clean) = capture(&RunOptions::default());
+        let opts = RunOptions {
+            faults: Some(
+                FaultPlan::new(7)
+                    .with_drop(0.25)
+                    .with_corrupt(0.2)
+                    .with_duplicate(0.2)
+                    .with_delay(0.2, 1e5),
+            ),
+            watchdog: Duration::from_secs(2),
+            poll: Duration::from_millis(5),
+            ..RunOptions::default()
+        };
+        let (faulty_stats, faulty) = capture(&opts);
+        assert_eq!(clean, faulty, "fault recovery changed results");
+        assert!(
+            faulty_stats.comm_cycles.iter().sum::<f64>()
+                > clean_stats.comm_cycles.iter().sum::<f64>(),
+            "fault recovery should cost modeled cycles"
+        );
     }
 }
