@@ -163,7 +163,7 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> T {
             // Stop at the depth budget, and take the leaf early about a
             // quarter of the time so generated trees vary in shape.
-            let take_leaf = rng.depth >= self.max_depth || rng.next() % 4 == 0;
+            let take_leaf = rng.depth >= self.max_depth || rng.next().is_multiple_of(4);
             if take_leaf {
                 return self.leaf.generate(rng);
             }
@@ -305,6 +305,7 @@ pub mod test_runner {
         }
 
         /// Next raw 64-bit output.
+        #[allow(clippy::should_implement_trait)]
         pub fn next(&mut self) -> u64 {
             self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
             let mut z = self.state;
@@ -409,7 +410,7 @@ pub mod option {
     impl<S: Strategy> Strategy for OptionStrategy<S> {
         type Value = Option<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
-            if rng.next() % 4 == 0 {
+            if rng.next().is_multiple_of(4) {
                 None
             } else {
                 Some(self.0.generate(rng))

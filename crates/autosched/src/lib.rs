@@ -276,7 +276,7 @@ mod tests {
         // b(i) reads a(i + 1): fusion needs a shift.
         let mut f = Function::new("p", &["N"]);
         let i = f.var("i", 0, Expr::param("N"));
-        let a = f.computation("a", &[i.clone()], Expr::f32(1.0)).unwrap();
+        let a = f.computation("a", std::slice::from_ref(&i), Expr::f32(1.0)).unwrap();
         let i2 = f.var("i", 0, Expr::param("N") - Expr::i64(1));
         let read = f.access(a, &[Expr::iter("i") + Expr::i64(1)]);
         let _b = f.computation("b", &[i2], read).unwrap();

@@ -7,13 +7,16 @@
 //! the backend optionally separates **full tiles from partial tiles**,
 //! which the paper calls "crucial to enable vectorization, unrolling and
 //! reducing control overhead" in sgemm.
+//!
+//! The shared AST walk lives in [`crate::backend::lowered`]; this module
+//! only contributes the CPU-specific pieces: the tag→loop-kind mapping
+//! and the full/partial tile separation.
 
-use crate::expr::{CompId, Expr as TExpr, Op, UnOp};
-use crate::function::{CompKind, Error, Function, Result, Tag};
-use crate::legality;
-use crate::lowering::{lower, Lowered};
-use loopvm::{BufId as VmBuf, Expr as VExpr, LoopKind, Program, Stmt, Var as VmVar};
-use polyhedral::{AstExpr, AstNode, ConstraintKind, QAff};
+use crate::backend::lowered::{count_vm_stmts, simplify, EmitTarget, LoopNode, LoweredModule};
+use crate::function::{Error, Function, Result, Tag};
+use crate::pipeline::{self, CompileTrace};
+use loopvm::{BufId as VmBuf, Expr as VExpr, LoopKind, Program, Stmt};
+use polyhedral::AstExpr;
 use std::collections::HashMap;
 
 /// Options controlling CPU code generation.
@@ -25,11 +28,15 @@ pub struct CpuOptions {
     /// Split loops with `min`-shaped upper bounds into a full-tile loop
     /// and a remainder loop.
     pub separate_tiles: bool,
+    /// Record a [`CompileTrace`] (per-pass timings and IR snapshots),
+    /// retrievable via [`CpuModule::compile_trace`]. The `TIRAMISU_TRACE`
+    /// environment variable enables this globally.
+    pub trace: bool,
 }
 
 impl Default for CpuOptions {
     fn default() -> Self {
-        CpuOptions { check_legality: true, separate_tiles: false }
+        CpuOptions { check_legality: true, separate_tiles: false, trace: false }
     }
 }
 
@@ -41,6 +48,7 @@ pub struct CpuModule {
     buffer_map: HashMap<String, VmBuf>,
     /// The parameter bindings the module was compiled for.
     pub param_values: Vec<(String, i64)>,
+    trace: Option<CompileTrace>,
 }
 
 impl CpuModule {
@@ -54,33 +62,11 @@ impl CpuModule {
     pub fn vm_buffer(&self, name: &str) -> Option<VmBuf> {
         self.buffer_map.get(name).copied()
     }
-}
 
-pub(crate) struct CompInfo {
-    pub(crate) vm_buf: VmBuf,
-    /// Extents of the destination buffer (row-major).
-    pub(crate) extents: Vec<i64>,
-    /// Store index expressions over the computation's original iterators
-    /// (`None` = identity).
-    pub(crate) store_idx: Option<Vec<TExpr>>,
-    /// One VM variable per original iterator, `let`-bound per statement
-    /// instance (the paper's `int i = i0*32+i1` in Figure 3).
-    pub(crate) iter_vars: Vec<VmVar>,
-}
-
-pub(crate) struct Emit<'f> {
-    pub(crate) f: &'f Function,
-    pub(crate) lowered: Lowered,
-    pub(crate) options: CpuOptions,
-    pub(crate) program: Program,
-    pub(crate) time_vars: Vec<VmVar>,
-    pub(crate) param_vars: HashMap<String, VmVar>,
-    pub(crate) param_vals: HashMap<String, i64>,
-    pub(crate) comp_info: HashMap<u32, CompInfo>,
-    pub(crate) buffer_map: HashMap<String, VmBuf>,
-    /// In GPU mode, CPU tags inside kernels degrade to serial loops and
-    /// GPU tags are consumed by the kernel extractor before conversion.
-    pub(crate) gpu_mode: bool,
+    /// The compile trace, when tracing was enabled.
+    pub fn compile_trace(&self) -> Option<&CompileTrace> {
+        self.trace.as_ref()
+    }
 }
 
 /// Compiles a function for the CPU substrate with concrete parameter
@@ -92,205 +78,37 @@ pub(crate) struct Emit<'f> {
 /// buffer extents, untagged-backend tags (GPU tags in CPU code) and
 /// malformed expressions.
 pub fn compile(f: &Function, params: &[(&str, i64)], options: CpuOptions) -> Result<CpuModule> {
-    if options.check_legality {
-        legality::assert_legal(f)?;
-    }
-    let lowered = lower(f)?;
-    let mut param_vals = HashMap::new();
-    for (k, v) in params {
-        param_vals.insert(k.to_string(), *v);
-    }
-    for p in &f.params {
-        if !param_vals.contains_key(p) {
-            return Err(Error::UnknownParam(format!("parameter {p} not bound")));
-        }
-    }
-
-    let mut emit = Emit {
-        f,
-        lowered,
-        options,
-        program: Program::new(),
-        time_vars: Vec::new(),
-        param_vars: HashMap::new(),
-        param_vals,
-        comp_info: HashMap::new(),
-        buffer_map: HashMap::new(),
-        gpu_mode: false,
-    };
-    crate::lowering::specialize_params(&mut emit.lowered, f, &emit.param_vals);
-    emit.assign_buffers()?;
-    emit.declare_vars();
-    let ast = polyhedral::build_ast(&emit.lowered.stmts, &polyhedral::AstBuild::default())
-        .map_err(|e| Error::Backend(e.to_string()))?;
-    let body = emit.convert_nodes(&ast)?;
-    // Bind parameters at the top of the program.
-    let mut top: Vec<Stmt> = f
-        .params
-        .iter()
-        .map(|p| Stmt::let_(emit.param_vars[p], VExpr::i64(emit.param_vals[p])))
-        .collect();
-    top.extend(body);
-    emit.program.body = top;
-    Ok(CpuModule {
-        program: emit.program,
-        buffer_map: emit.buffer_map,
-        param_values: emit
-            .param_vals
-            .iter()
-            .map(|(k, v)| (k.clone(), *v))
-            .collect(),
-    })
+    let check = options.check_legality;
+    let trace = options.trace;
+    let mut target = CpuTarget { options };
+    let (mut module, trace) = pipeline::compile_with(f, params, check, trace, &mut target)?;
+    module.trace = trace;
+    Ok(module)
 }
 
-impl<'f> Emit<'f> {
-    pub(crate) fn new(
-        f: &'f Function,
-        lowered: Lowered,
-        options: CpuOptions,
-        param_vals: HashMap<String, i64>,
-        gpu_mode: bool,
-    ) -> Emit<'f> {
-        Emit {
-            f,
-            lowered,
-            options,
-            program: Program::new(),
-            time_vars: Vec::new(),
-            param_vars: HashMap::new(),
-            param_vals,
-            comp_info: HashMap::new(),
-            buffer_map: HashMap::new(),
-            gpu_mode,
-        }
-    }
+/// The CPU emit target: plain loop nests with `cpu`/`vec`/`unroll`
+/// annotations and optional tile separation.
+struct CpuTarget {
+    options: CpuOptions,
+}
 
-    pub(crate) fn eval_extent(&self, e: &TExpr) -> Result<i64> {
-        let aff = e
-            .as_affine(&[], &self.f.params)
-            .ok_or_else(|| Error::NotAffine("buffer extent".into()))?;
-        let point: Vec<i64> = self.f.params.iter().map(|p| self.param_vals[p]).collect();
-        Ok(aff.eval(&point))
-    }
+impl EmitTarget for CpuTarget {
+    type Module = CpuModule;
 
-    pub(crate) fn assign_buffers(&mut self) -> Result<()> {
-        // Explicit buffers first.
-        let mut explicit: Vec<(String, Vec<i64>)> = Vec::new();
-        for b in &self.f.buffers {
-            let extents: Vec<i64> =
-                b.extents.iter().map(|e| self.eval_extent(e)).collect::<Result<_>>()?;
-            explicit.push((b.name.clone(), extents));
-        }
-        for (name, extents) in &explicit {
-            let size: i64 = extents.iter().product::<i64>().max(1);
-            let id = self.program.buffer(name, size as usize);
-            self.buffer_map.insert(name.clone(), id);
-        }
-        // Per-computation destinations.
-        for (idx, c) in self.f.comps.iter().enumerate() {
-            if c.inlined {
-                continue;
-            }
-            let (vm_buf, extents) = match c.store_buffer {
-                Some(b) => {
-                    let buf = &self.f.buffers[b.index()];
-                    let extents = explicit[b.index()].1.clone();
-                    (self.buffer_map[&buf.name], extents)
-                }
-                None => {
-                    // Auto buffer sized from the domain bounds under the
-                    // concrete parameters.
-                    let mut dom = c.domain.clone();
-                    for (q, p) in self.f.params.iter().enumerate() {
-                        dom = dom.fix_param(q, self.param_vals[p]);
-                    }
-                    let mut extents = Vec::with_capacity(c.iters.len());
-                    for d in 0..c.iters.len() {
-                        let lo = dom.dim_min(d).ok_or_else(|| {
-                            Error::Backend(format!("domain of {} is unbounded", c.name))
-                        })?;
-                        let hi = dom.dim_max(d).ok_or_else(|| {
-                            Error::Backend(format!("domain of {} is unbounded", c.name))
-                        })?;
-                        if lo < 0 {
-                            return Err(Error::Backend(format!(
-                                "auto buffer for {} needs non-negative bounds; use store_in",
-                                c.name
-                            )));
-                        }
-                        extents.push(hi + 1);
-                    }
-                    let size: i64 = extents.iter().product::<i64>().max(1);
-                    let id = self.program.buffer(&c.name, size as usize);
-                    self.buffer_map.insert(c.name.clone(), id);
-                    (id, extents)
-                }
-            };
-            let iter_vars = c
-                .iters
-                .iter()
-                .map(|n| self.program.var(&format!("{}_{n}", c.name)))
-                .collect();
-            self.comp_info.insert(
-                idx as u32,
-                CompInfo { vm_buf, extents, store_idx: c.store_idx.clone(), iter_vars },
-            );
-        }
-        Ok(())
-    }
-
-    pub(crate) fn declare_vars(&mut self) {
-        for p in &self.f.params {
-            let v = self.program.var(p);
-            self.param_vars.insert(p.clone(), v);
-        }
-        for t in 0..self.lowered.m {
-            self.time_vars.push(self.program.var(&format!("c{t}")));
-        }
-    }
-
-    pub(crate) fn convert_nodes(&mut self, nodes: &[AstNode]) -> Result<Vec<Stmt>> {
-        let mut out = Vec::new();
-        for n in nodes {
-            match n {
-                AstNode::For { .. } => {
-                    out.extend(self.convert_for(n)?);
-                }
-                AstNode::Stmt { index, iters, guard, .. } => {
-                    out.extend(self.convert_stmt(*index, iters, guard)?);
-                }
-            }
-        }
-        Ok(out)
+    fn name(&self) -> &'static str {
+        "cpu"
     }
 
     fn loop_kind(&self, tag: Option<Tag>) -> Result<LoopKind> {
         Ok(match tag {
             None => LoopKind::Serial,
-            Some(Tag::Parallel) => {
-                if self.gpu_mode {
-                    LoopKind::Serial
-                } else {
-                    LoopKind::Parallel
-                }
-            }
-            Some(Tag::Vectorize(w)) => {
-                if self.gpu_mode {
-                    LoopKind::Serial
-                } else {
-                    LoopKind::Vectorize(w)
-                }
-            }
+            Some(Tag::Parallel) => LoopKind::Parallel,
+            Some(Tag::Vectorize(w)) => LoopKind::Vectorize(w),
             Some(Tag::Unroll(u)) => LoopKind::Unroll(u),
             Some(Tag::Distribute) => {
-                if self.gpu_mode {
-                    return Err(Error::Backend(
-                        "distribute() cannot appear inside a GPU kernel".into(),
-                    ));
-                }
                 return Err(Error::Backend(
                     "distribute() requires the distributed backend".into(),
-                ));
+                ))
             }
             Some(Tag::GpuBlock(_)) | Some(Tag::GpuThread(_)) => {
                 return Err(Error::Backend(
@@ -301,386 +119,74 @@ impl<'f> Emit<'f> {
         })
     }
 
-    fn convert_for(&mut self, node: &AstNode) -> Result<Vec<Stmt>> {
-        let AstNode::For { level, lower, upper, body, .. } = node else {
-            unreachable!("convert_for called on a statement");
-        };
-        let (level, body) = (*level, body.as_slice());
-        let tag = self.lowered.tag_of_node(node)?;
-        let kind = self.loop_kind(tag)?;
-        let var = self.time_vars[level];
-        let body_stmts = self.convert_nodes(body)?;
-        let lower_e = simplify(self.conv_bound(lower));
+    fn convert_loop(
+        &mut self,
+        lm: &mut LoweredModule<'_>,
+        node: &LoopNode,
+    ) -> Result<Option<Vec<Stmt>>> {
         // Separation of full and partial tiles (§V-A): with a two-candidate
         // min upper bound, emit `if (a <= b) full-loop else partial-loop`.
-        if self.options.separate_tiles {
-            if let AstExpr::Min(cands) = upper {
-                if cands.len() == 2 {
-                    let a = simplify(self.conv_qaff(&cands[0]));
-                    let b = simplify(self.conv_qaff(&cands[1]));
-                    let full = Stmt::For {
-                        var,
-                        lower: lower_e.clone(),
-                        upper: a.clone() + VExpr::i64(1),
-                        kind,
-                        body: body_stmts.clone(),
-                    };
-                    let partial = Stmt::For {
-                        var,
-                        lower: lower_e,
-                        upper: b.clone() + VExpr::i64(1),
-                        kind,
-                        body: body_stmts,
-                    };
-                    return Ok(vec![Stmt::If {
-                        cond: VExpr::le(a, b),
-                        then: vec![full],
-                        else_: vec![partial],
-                    }]);
-                }
-            }
+        if !self.options.separate_tiles {
+            return Ok(None);
         }
-        let upper_e = simplify(self.conv_bound(upper) + VExpr::i64(1));
-        Ok(vec![Stmt::For { var, lower: lower_e, upper: upper_e, kind, body: body_stmts }])
-    }
-
-    pub(crate) fn convert_stmt(
-        &mut self,
-        index: usize,
-        iters: &[QAff],
-        guard: &[polyhedral::Constraint],
-    ) -> Result<Vec<Stmt>> {
-        let comp_id = self.lowered.comp_ids[index];
-        let comp = self.f.comp(comp_id);
-        debug_assert_eq!(comp.kind, CompKind::Computation);
-        let expr = comp
-            .expr
-            .clone()
-            .ok_or_else(|| Error::Backend(format!("{} has no expression", comp.name)))?;
-
-        // Bind each original iterator once per statement instance
-        // (`int i = i0*32 + i1`, as in the paper's Figure 3 pseudocode),
-        // then reference the bound variables from every index expression.
-        let info_vars = self.comp_info[&comp_id.0].iter_vars.clone();
-        let mut lets: Vec<Stmt> = Vec::with_capacity(comp.iters.len());
-        let mut env: HashMap<String, VExpr> = HashMap::new();
-        for (k, name) in comp.iters.iter().enumerate() {
-            let bound = simplify(self.conv_qaff(&iters[k]));
-            lets.push(Stmt::let_(info_vars[k], bound));
-            env.insert(name.clone(), VExpr::var(info_vars[k]));
-        }
-
-        let (value, ty) = self.conv_expr(&expr, &env)?;
-        let value = simplify(coerce_f32(value, ty));
-        let store_index = simplify(self.store_index(comp_id, &env)?);
-        let info = &self.comp_info[&comp_id.0];
-        let mut stmt = Stmt::store(info.vm_buf, store_index, value);
-
-        // Predicate (non-affine conditional, §V-B).
-        if let Some(pred) = &comp.predicate {
-            let (p, pty) = self.conv_expr(pred, &env)?;
-            if pty != VTy::I64 {
-                return Err(Error::Backend("predicate must be an integer expression".into()));
-            }
-            stmt = Stmt::if_then(p, vec![stmt]);
-        }
-        // Polyhedral guards.
-        if !guard.is_empty() {
-            let mut cond: Option<VExpr> = None;
-            for c in guard {
-                let aff_e = simplify(self.conv_aff(&c.aff));
-                let piece = match c.kind {
-                    ConstraintKind::Ineq => VExpr::le(VExpr::i64(0), aff_e),
-                    ConstraintKind::Eq => VExpr::eq(aff_e, VExpr::i64(0)),
-                };
-                cond = Some(match cond {
-                    None => piece,
-                    Some(acc) => VExpr::and(acc, piece),
-                });
-            }
-            stmt = Stmt::if_then(cond.unwrap(), vec![stmt]);
-        }
-        lets.push(stmt);
-        Ok(lets)
-    }
-
-    /// The flat store index of a computation instance given its iterator
-    /// environment.
-    fn store_index(&self, comp_id: CompId, env: &HashMap<String, VExpr>) -> Result<VExpr> {
-        let comp = self.f.comp(comp_id);
-        let info = &self.comp_info[&comp_id.0];
-        let idx_exprs: Vec<TExpr> = match &info.store_idx {
-            Some(v) => v.clone(),
-            None => comp.iters.iter().map(|n| TExpr::Iter(n.clone())).collect(),
+        let LoopNode::Loop { level, tag, lower, upper, body } = node else {
+            return Ok(None);
         };
-        if idx_exprs.len() != info.extents.len() {
-            return Err(Error::Backend(format!(
-                "{}: store index arity {} does not match buffer rank {}",
-                comp.name,
-                idx_exprs.len(),
-                info.extents.len()
-            )));
+        let AstExpr::Min(cands) = upper else { return Ok(None) };
+        if cands.len() != 2 {
+            return Ok(None);
         }
-        let mut flat: Option<VExpr> = None;
-        let mut stride = 1i64;
-        for (k, e) in idx_exprs.iter().enumerate().rev() {
-            let (v, ty) = self.conv_expr(e, env)?;
-            if ty != VTy::I64 {
-                return Err(Error::Backend("store index must be an integer".into()));
-            }
-            let term = if stride == 1 { v } else { v * VExpr::i64(stride) };
-            flat = Some(match flat {
-                None => term,
-                Some(acc) => acc + term,
-            });
-            stride *= info.extents[k];
-        }
-        Ok(flat.unwrap_or(VExpr::i64(0)))
+        let kind = self.loop_kind(*tag)?;
+        let var = lm.time_vars[*level];
+        let body_stmts = lm.convert_nodes(body, self)?;
+        let lower_e = simplify(lm.conv_bound(lower));
+        let a = simplify(lm.conv_qaff(&cands[0]));
+        let b = simplify(lm.conv_qaff(&cands[1]));
+        let full = Stmt::For {
+            var,
+            lower: lower_e.clone(),
+            upper: a.clone() + VExpr::i64(1),
+            kind,
+            body: body_stmts.clone(),
+        };
+        let partial = Stmt::For {
+            var,
+            lower: lower_e,
+            upper: b.clone() + VExpr::i64(1),
+            kind,
+            body: body_stmts,
+        };
+        Ok(Some(vec![Stmt::If {
+            cond: VExpr::le(a, b),
+            then: vec![full],
+            else_: vec![partial],
+        }]))
     }
 
-    /// The flat index of a *read* of `target` at the given (already
-    /// compiled) coordinate expressions.
-    fn read_index(&self, target: CompId, coords: &[VExpr]) -> Result<VExpr> {
-        let comp = self.f.comp(target);
-        // Build an environment binding the target's iterators to coords.
-        let mut env = HashMap::new();
-        for (k, name) in comp.iters.iter().enumerate() {
-            env.insert(name.clone(), coords[k].clone());
-        }
-        self.store_index(target, &env)
-    }
-
-    fn conv_expr(&self, e: &TExpr, env: &HashMap<String, VExpr>) -> Result<(VExpr, VTy)> {
-        Ok(match e {
-            TExpr::F32(v) => (VExpr::f32(*v), VTy::F32),
-            TExpr::I64(v) => (VExpr::i64(*v), VTy::I64),
-            TExpr::Iter(name) => (
-                env.get(name)
-                    .ok_or_else(|| Error::Backend(format!("unbound iterator {name}")))?
-                    .clone(),
-                VTy::I64,
-            ),
-            TExpr::Param(name) => (
-                VExpr::var(
-                    *self
-                        .param_vars
-                        .get(name)
-                        .ok_or_else(|| Error::UnknownParam(name.clone()))?,
-                ),
-                VTy::I64,
-            ),
-            TExpr::Access(id, idx) => {
-                let target = self.f.comp(*id);
-                if target.inlined {
-                    return Err(Error::Backend(format!(
-                        "access to inlined computation {}",
-                        target.name
-                    )));
-                }
-                let mut coords = Vec::with_capacity(idx.len());
-                for ie in idx {
-                    let (v, ty) = self.conv_expr(ie, env)?;
-                    if ty != VTy::I64 {
-                        return Err(Error::Backend("access index must be an integer".into()));
-                    }
-                    coords.push(v);
-                }
-                let info = self.comp_info.get(&id.0).ok_or_else(|| {
-                    Error::Backend(format!("{} has no buffer", target.name))
-                })?;
-                let flat = self.read_index(*id, &coords)?;
-                (VExpr::load(info.vm_buf, flat), VTy::F32)
-            }
-            TExpr::Bin(op, a, b) => {
-                let (va, ta) = self.conv_expr(a, env)?;
-                let (vb, tb) = self.conv_expr(b, env)?;
-                // Type promotion: mixed i64/f32 promotes to f32 (so the
-                // paper's `sum / 3` idiom works).
-                let (va, vb, ty) = if ta == tb {
-                    (va, vb, ta)
-                } else {
-                    (coerce_f32(va, ta), coerce_f32(vb, tb), VTy::F32)
-                };
-                let out_ty = match op {
-                    Op::Lt | Op::Le | Op::Eq | Op::And | Op::Or => VTy::I64,
-                    _ => ty,
-                };
-                let vop = match op {
-                    Op::Add => loopvm::BinOp::Add,
-                    Op::Sub => loopvm::BinOp::Sub,
-                    Op::Mul => loopvm::BinOp::Mul,
-                    Op::Div => loopvm::BinOp::Div,
-                    Op::Rem => loopvm::BinOp::Rem,
-                    Op::Min => loopvm::BinOp::Min,
-                    Op::Max => loopvm::BinOp::Max,
-                    Op::Lt => loopvm::BinOp::Lt,
-                    Op::Le => loopvm::BinOp::Le,
-                    Op::Eq => loopvm::BinOp::EqCmp,
-                    Op::And => loopvm::BinOp::And,
-                    Op::Or => loopvm::BinOp::Or,
-                };
-                (VExpr::Bin(vop, Box::new(va), Box::new(vb)), out_ty)
-            }
-            TExpr::Un(op, a) => {
-                let (va, ta) = self.conv_expr(a, env)?;
-                let vop = match op {
-                    UnOp::Neg => loopvm::UnOp::Neg,
-                    UnOp::Abs => loopvm::UnOp::Abs,
-                    UnOp::Sqrt => loopvm::UnOp::Sqrt,
-                    UnOp::Exp => loopvm::UnOp::Exp,
-                    UnOp::Not => loopvm::UnOp::Not,
-                };
-                let (va, ty) = match op {
-                    UnOp::Sqrt | UnOp::Exp => (coerce_f32(va, ta), VTy::F32),
-                    UnOp::Not => (va, VTy::I64),
-                    _ => (va, ta),
-                };
-                (VExpr::Un(vop, Box::new(va)), ty)
-            }
-            TExpr::Select(c, a, b) => {
-                let (vc, _tc) = self.conv_expr(c, env)?;
-                let (va, ta) = self.conv_expr(a, env)?;
-                let (vb, tb) = self.conv_expr(b, env)?;
-                let (va, vb, ty) = if ta == tb {
-                    (va, vb, ta)
-                } else {
-                    (coerce_f32(va, ta), coerce_f32(vb, tb), VTy::F32)
-                };
-                (VExpr::select(vc, va, vb), ty)
-            }
-            TExpr::CastF32(a) => {
-                let (va, ta) = self.conv_expr(a, env)?;
-                (coerce_f32(va, ta), VTy::F32)
-            }
-            TExpr::CastI64(a) => {
-                let (va, ta) = self.conv_expr(a, env)?;
-                let v = if ta == VTy::I64 { va } else { VExpr::to_i64(va) };
-                (v, VTy::I64)
-            }
+    fn emit(&mut self, lm: &mut LoweredModule<'_>, roots: &[LoopNode]) -> Result<CpuModule> {
+        let body = lm.convert_nodes(roots, self)?;
+        // Bind parameters at the top of the program.
+        let mut top = lm.param_lets();
+        top.extend(body);
+        lm.program.body = top;
+        Ok(CpuModule {
+            program: std::mem::take(&mut lm.program),
+            buffer_map: std::mem::take(&mut lm.buffer_map),
+            param_values: lm.param_vals.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            trace: None,
         })
     }
 
-    pub(crate) fn conv_qaff(&self, q: &QAff) -> VExpr {
-        let num = self.conv_aff(&q.num);
-        if q.den == 1 {
-            num
-        } else if q.ceil {
-            (num + VExpr::i64(q.den - 1)) / VExpr::i64(q.den)
-        } else {
-            num / VExpr::i64(q.den)
-        }
-    }
-
-    pub(crate) fn conv_aff(&self, aff: &polyhedral::Aff) -> VExpr {
-        // Columns: [m time dims, params, 1].
-        let m = self.lowered.m;
-        let n_params = self.f.params.len();
-        debug_assert_eq!(aff.n_cols(), m + n_params + 1);
-        let mut out: Option<VExpr> = None;
-        let add = |acc: &mut Option<VExpr>, term: VExpr| {
-            *acc = Some(match acc.take() {
-                None => term,
-                Some(a) => a + term,
-            });
-        };
-        for t in 0..m {
-            let c = aff.coeff(t);
-            if c != 0 {
-                let v = VExpr::var(self.time_vars[t]);
-                add(&mut out, if c == 1 { v } else { VExpr::i64(c) * v });
-            }
-        }
-        for (q, p) in self.f.params.iter().enumerate() {
-            let c = aff.coeff(m + q);
-            if c != 0 {
-                let v = VExpr::var(self.param_vars[p]);
-                add(&mut out, if c == 1 { v } else { VExpr::i64(c) * v });
-            }
-        }
-        let k = aff.const_term();
-        if k != 0 || out.is_none() {
-            add(&mut out, VExpr::i64(k));
-        }
-        out.unwrap()
-    }
-
-    pub(crate) fn conv_bound(&self, e: &AstExpr) -> VExpr {
-        match e {
-            AstExpr::Max(v) => v
-                .iter()
-                .map(|q| self.conv_qaff(q))
-                .reduce(VExpr::max)
-                .expect("empty bound"),
-            AstExpr::Min(v) => v
-                .iter()
-                .map(|q| self.conv_qaff(q))
-                .reduce(VExpr::min)
-                .expect("empty bound"),
-        }
-    }
-}
-
-/// Peephole simplification of generated VM expressions: constant folding
-/// and algebraic identities (`x*1`, `x+0`, `x*0`, nested constants). The
-/// polyhedral layers generate expressions like `(1 * A[i]) + 0` and
-/// `(0 + 1)`; folding them keeps the interpreted instruction stream close
-/// to hand-written code.
-pub(crate) fn simplify(e: VExpr) -> VExpr {
-    use loopvm::BinOp as B;
-    match e {
-        VExpr::Bin(op, a, b) => {
-            let a = simplify(*a);
-            let b = simplify(*b);
-            match (op, &a, &b) {
-                (B::Mul, VExpr::ConstF(x), e) | (B::Mul, e, VExpr::ConstF(x)) if *x == 1.0 => {
-                    e.clone()
-                }
-                (B::Mul, VExpr::ConstI(1), e) | (B::Mul, e, VExpr::ConstI(1)) => e.clone(),
-                (B::Mul, VExpr::ConstI(0), _) | (B::Mul, _, VExpr::ConstI(0)) => VExpr::i64(0),
-                (B::Add, VExpr::ConstI(0), e) | (B::Add, e, VExpr::ConstI(0)) => e.clone(),
-                (B::Add, VExpr::ConstF(x), e) | (B::Add, e, VExpr::ConstF(x)) if *x == 0.0 => {
-                    e.clone()
-                }
-                (B::Sub, e, VExpr::ConstI(0)) => e.clone(),
-                (B::Add, VExpr::ConstI(x), VExpr::ConstI(y)) => VExpr::i64(x + y),
-                (B::Sub, VExpr::ConstI(x), VExpr::ConstI(y)) => VExpr::i64(x - y),
-                (B::Mul, VExpr::ConstI(x), VExpr::ConstI(y)) => VExpr::i64(x * y),
-                (B::Min, VExpr::ConstI(x), VExpr::ConstI(y)) => VExpr::i64(*x.min(y)),
-                (B::Max, VExpr::ConstI(x), VExpr::ConstI(y)) => VExpr::i64(*x.max(y)),
-                (B::Div, e, VExpr::ConstI(1)) => e.clone(),
-                _ => VExpr::Bin(op, Box::new(a), Box::new(b)),
-            }
-        }
-        VExpr::Un(op, a) => VExpr::Un(op, Box::new(simplify(*a))),
-        VExpr::Select(c, a, b) => VExpr::Select(
-            Box::new(simplify(*c)),
-            Box::new(simplify(*a)),
-            Box::new(simplify(*b)),
-        ),
-        VExpr::Cast(t, a) => VExpr::Cast(t, Box::new(simplify(*a))),
-        VExpr::Load(bf, i) => VExpr::Load(bf, Box::new(simplify(*i))),
-        other => other,
-    }
-}
-
-/// The two VM value types, used for promotion during conversion.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum VTy {
-    I64,
-    F32,
-}
-
-fn coerce_f32(e: VExpr, ty: VTy) -> VExpr {
-    match ty {
-        VTy::F32 => e,
-        VTy::I64 => VExpr::to_f32(e),
+    fn module_stats(&self, module: &CpuModule) -> (usize, String) {
+        (count_vm_stmts(&module.program.body), module.program.pretty())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::expr::Expr;
+    use crate::expr::{CompId, Expr};
+    use crate::function::Function;
 
     /// Compiles and runs the paper's blur (Figure 2) at small size and
     /// checks the values.

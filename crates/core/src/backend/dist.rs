@@ -1,19 +1,19 @@
 //! The distributed backend: Layer IV → `mpisim` rank programs.
 //!
-//! `distribute()`-tagged loops are converted into rank conditionals
-//! (paper §V-A: "each distributed loop is converted into a conditional
-//! based on the MPI rank of the executing process"), and Layer IV
-//! `send`/`receive` operations become `mpisim` messages carrying exactly
-//! the bytes the schedule names.
+//! `distribute()`-tagged loops become rank conditionals (paper §V-A:
+//! "each distributed loop is converted into a conditional based on the
+//! MPI rank of the executing process"), and Layer IV `send`/`receive`
+//! operations become `mpisim` messages carrying exactly the bytes the
+//! schedule names. The shared AST walk lives in [`crate::backend::lowered`]
+//! and the Layer IV op lowering in [`crate::layer4`]; this module is the
+//! thin [`EmitTarget`] binding.
 
-use crate::backend::cpu::{CpuOptions, Emit};
+use crate::backend::lowered::{EmitTarget, LoopNode, LoweredModule};
 use crate::function::{Error, Function, Result, Tag};
-use crate::layer4::{CommKind, CommOp};
-use crate::legality;
-use crate::lowering::lower;
-use loopvm::{Expr as VExpr, Stmt};
-use mpisim::{CommModel, DistProgram, DistStats, DistStmt};
-use polyhedral::AstNode;
+use crate::layer4;
+use crate::pipeline::{self, CompileTrace};
+use loopvm::{Expr as VExpr, LoopKind, Stmt};
+use mpisim::{CommModel, DistProgram, DistStats};
 use std::collections::HashMap;
 
 /// Options for distributed compilation.
@@ -21,16 +21,18 @@ use std::collections::HashMap;
 pub struct DistOptions {
     /// Verify the schedule before code generation (on by default).
     pub check_legality: bool,
-    /// Statically validate the Layer IV communication structure — every
-    /// send must have a matching receive on the destination rank — when
-    /// the rank graph is computable from the bound parameters (on by
-    /// default). See [`crate::layer4::validate_comm`].
+    /// Statically validate the Layer IV communication structure when the
+    /// rank graph is computable (on by default); see
+    /// [`crate::layer4::validate_comm`].
     pub check_comm: bool,
+    /// Record a [`CompileTrace`] ([`DistModule::compile_trace`]); the
+    /// `TIRAMISU_TRACE` environment variable enables this globally.
+    pub trace: bool,
 }
 
 impl Default for DistOptions {
     fn default() -> Self {
-        DistOptions { check_legality: true, check_comm: true }
+        DistOptions { check_legality: true, check_comm: true, trace: false }
     }
 }
 
@@ -40,6 +42,7 @@ pub struct DistModule {
     /// The rank program (run it with [`mpisim::run`]).
     pub dist: DistProgram,
     buffer_map: HashMap<String, loopvm::BufId>,
+    trace: Option<CompileTrace>,
 }
 
 impl DistModule {
@@ -48,255 +51,101 @@ impl DistModule {
         self.buffer_map.get(name).copied()
     }
 
-    /// Runs the module on `n_ranks` simulated nodes.
-    ///
-    /// # Errors
-    ///
-    /// VM errors from any rank.
-    pub fn run(
-        &self,
-        n_ranks: usize,
-        comm: &CommModel,
-        stats_mode: bool,
-    ) -> Result<DistStats> {
+    /// The compile trace, when tracing was enabled.
+    pub fn compile_trace(&self) -> Option<&CompileTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Runs the module on `n_ranks` simulated nodes; VM errors from any
+    /// rank surface as [`Error::Backend`].
+    pub fn run(&self, n_ranks: usize, comm: &CommModel, stats_mode: bool) -> Result<DistStats> {
         mpisim::run(&self.dist, n_ranks, comm, stats_mode)
             .map_err(|e| Error::Backend(e.to_string()))
     }
 }
 
-/// Compiles a function for the distributed substrate.
-///
-/// Every rank executes the same program; loops at `distribute()`-tagged
-/// levels collapse to the iteration equal to the rank id, and the Layer IV
-/// communication operations are interleaved at their scheduled positions.
+/// Compiles a function for the distributed substrate: every rank executes
+/// the same program, loops at `distribute()`-tagged levels collapse to the
+/// iteration equal to the rank id, and the Layer IV communication
+/// operations are interleaved at their scheduled positions.
 ///
 /// # Errors
 ///
-/// Legality violations, unbound parameters, GPU tags, malformed
-/// communication expressions, and (with [`DistOptions::check_comm`])
-/// statically detectable send/receive mismatches.
+/// Legality violations, unbound parameters, GPU tags, malformed comm
+/// expressions, statically detectable send/receive mismatches.
 pub fn compile(f: &Function, params: &[(&str, i64)], options: DistOptions) -> Result<DistModule> {
-    if options.check_legality {
-        legality::assert_legal(f)?;
-    }
-    let lowered = lower(f)?;
-    let mut param_vals = HashMap::new();
-    for (k, v) in params {
-        param_vals.insert(k.to_string(), *v);
-    }
-    for p in &f.params {
-        if !param_vals.contains_key(p) {
-            return Err(Error::UnknownParam(format!("parameter {p} not bound")));
-        }
-    }
-    if options.check_comm {
-        crate::layer4::validate_comm(f, &param_vals)?;
-    }
-    let mut emit = Emit::new(f, lowered, CpuOptions::default(), param_vals.clone(), false);
-    crate::lowering::specialize_params(&mut emit.lowered, f, &emit.param_vals);
-    emit.assign_buffers()?;
-    emit.declare_vars();
-    let rank_var = emit.program.var("rank");
-    let ast = polyhedral::build_ast(&emit.lowered.stmts, &polyhedral::AstBuild::default())
-        .map_err(|e| Error::Backend(e.to_string()))?;
-
-    let preamble: Vec<Stmt> = f
-        .params
-        .iter()
-        .map(|p| Stmt::let_(emit.param_vars[p], VExpr::i64(param_vals[p])))
-        .collect();
-
-    // Group Layer IV ops by their scheduling anchor.
-    let mut unanchored: Vec<&CommOp> = Vec::new();
-    let mut anchored: HashMap<u32, Vec<&CommOp>> = HashMap::new();
-    for op in &f.comm {
-        match op.before {
-            Some(c) => anchored.entry(c.0).or_default().push(op),
-            None => unanchored.push(op),
-        }
-    }
-
-    let mut body: Vec<DistStmt> = Vec::new();
-    for op in &unanchored {
-        body.push(lower_comm(&emit, op, rank_var)?);
-    }
-    for node in &ast {
-        // Emit anchored comm ops before the node containing their comp.
-        let comps = comps_in(node, &emit);
-        for c in &comps {
-            if let Some(ops) = anchored.remove(c) {
-                for op in ops {
-                    body.push(lower_comm(&emit, &op.clone(), rank_var)?);
-                }
-            }
-        }
-        let stmts = convert_dist_node(&mut emit, node, rank_var)?;
-        body.push(DistStmt::Compute(stmts));
-    }
-
-    Ok(DistModule {
-        dist: DistProgram { program: emit.program, rank_var, body, preamble },
-        buffer_map: emit.buffer_map,
-    })
+    let mut target = DistTarget { check_comm: options.check_comm, rank_var: None };
+    let (mut module, trace) =
+        pipeline::compile_with(f, params, options.check_legality, options.trace, &mut target)?;
+    module.trace = trace;
+    Ok(module)
 }
 
-/// Computation ids reachable under an AST node.
-fn comps_in(node: &AstNode, emit: &Emit<'_>) -> Vec<u32> {
-    match node {
-        AstNode::For { body, .. } => body.iter().flat_map(|n| comps_in(n, emit)).collect(),
-        AstNode::Stmt { index, .. } => vec![emit.lowered.comp_ids[*index].0],
-    }
+/// Rank conditionals for `distribute()` levels, comm ops at their anchors.
+struct DistTarget {
+    check_comm: bool,
+    rank_var: Option<loopvm::Var>,
 }
 
-/// Converts one top-level AST node, replacing `distribute()`-tagged loops
-/// by rank conditionals.
-fn convert_dist_node(
-    emit: &mut Emit<'_>,
-    node: &AstNode,
-    rank_var: loopvm::Var,
-) -> Result<Vec<Stmt>> {
-    match node {
-        AstNode::For { level, lower, upper, body, .. }
-            if emit.lowered.tag_of_node(node)? == Some(Tag::Distribute) =>
-        {
-            // for (v in lo..=hi) body  ==>  if (lo <= rank <= hi) { v = rank; body }
-            let lo = emit.conv_bound(lower);
-            let hi = emit.conv_bound(upper);
-            let var = emit.time_vars[*level];
-            let mut inner = vec![Stmt::let_(var, VExpr::var(rank_var))];
-            for n in body {
-                inner.extend(convert_dist_node(emit, n, rank_var)?);
-            }
-            Ok(vec![Stmt::if_then(
-                VExpr::and(
-                    VExpr::le(lo, VExpr::var(rank_var)),
-                    VExpr::le(VExpr::var(rank_var), hi),
-                ),
-                inner,
-            )])
-        }
-        AstNode::For { level, lower, upper, body, .. } => {
-            // Ordinary loop: convert children through the dist-aware path
-            // (a distribute tag may sit below fused outer loops).
-            let kind = match emit.lowered.tag_of_node(node)? {
-                Some(Tag::Parallel) => loopvm::LoopKind::Parallel,
-                Some(Tag::Vectorize(w)) => loopvm::LoopKind::Vectorize(w),
-                Some(Tag::Unroll(u)) => loopvm::LoopKind::Unroll(u),
-                Some(Tag::GpuBlock(_)) | Some(Tag::GpuThread(_)) => {
-                    return Err(Error::Backend(
-                        "GPU tags are not supported by the distributed backend".into(),
-                    ))
-                }
-                _ => loopvm::LoopKind::Serial,
-            };
-            let lo = emit.conv_bound(lower);
-            let hi = emit.conv_bound(upper) + VExpr::i64(1);
-            let mut inner = Vec::new();
-            for n in body {
-                inner.extend(convert_dist_node(emit, n, rank_var)?);
-            }
-            Ok(vec![Stmt::For {
-                var: emit.time_vars[*level],
-                lower: lo,
-                upper: hi,
-                kind,
-                body: inner,
-            }])
-        }
-        AstNode::Stmt { index, iters, guard, .. } => emit.convert_stmt(*index, iters, guard),
-    }
-}
+impl EmitTarget for DistTarget {
+    type Module = DistModule;
 
-/// Lowers one Layer IV operation to a `DistStmt`, substituting the op's
-/// rank iterator with the rank variable and parameters with their values.
-fn lower_comm(emit: &Emit<'_>, op: &CommOp, rank_var: loopvm::Var) -> Result<DistStmt> {
-    if matches!(op.kind, CommKind::Barrier) {
-        return Ok(DistStmt::Barrier);
+    fn name(&self) -> &'static str {
+        "dist"
     }
-    let buf = emit
-        .buffer_map
-        .get(&op.buffer)
-        .copied()
-        .ok_or_else(|| Error::Backend(format!("unknown buffer {} in comm op", op.buffer)))?;
-    let conv = |e: &crate::expr::Expr| -> Result<VExpr> {
-        conv_comm_expr(emit, e, &op.iter.name, rank_var)
-    };
-    // Domain guard: lo <= rank < hi.
-    let lo = conv(&op.iter.lo)?;
-    let hi = conv(&op.iter.hi)?;
-    let guard = VExpr::and(
-        VExpr::le(lo, VExpr::var(rank_var)),
-        VExpr::lt(VExpr::var(rank_var), hi),
-    );
-    let inner = match &op.kind {
-        CommKind::Send { dest, asynchronous } => DistStmt::Send {
-            dest: conv(dest)?,
-            buf,
-            offset: conv(&op.offset)?,
-            count: conv(&op.count)?,
-            asynchronous: *asynchronous,
-        },
-        CommKind::Recv { src } => DistStmt::Recv {
-            src: conv(src)?,
-            buf,
-            offset: conv(&op.offset)?,
-            count: conv(&op.count)?,
-        },
-        CommKind::Barrier => unreachable!(),
-    };
-    Ok(DistStmt::If { cond: guard, body: vec![inner] })
-}
 
-/// Converts a Layer IV expression: the op's iterator becomes the rank
-/// variable; parameters become constants (comm expressions are evaluated
-/// outside VM frames).
-fn conv_comm_expr(
-    emit: &Emit<'_>,
-    e: &crate::expr::Expr,
-    iter_name: &str,
-    rank_var: loopvm::Var,
-) -> Result<VExpr> {
-    use crate::expr::Expr as TExpr;
-    Ok(match e {
-        TExpr::I64(v) => VExpr::i64(*v),
-        TExpr::Iter(n) if n == iter_name => VExpr::var(rank_var),
-        TExpr::Iter(n) => {
-            return Err(Error::Backend(format!(
-                "communication expressions may only use the op iterator (got {n})"
-            )))
+    fn validate(&self, f: &Function, param_vals: &HashMap<String, i64>) -> Result<()> {
+        if !self.check_comm {
+            return Ok(());
         }
-        TExpr::Param(p) => VExpr::i64(
-            *emit
-                .param_vals
-                .get(p)
-                .ok_or_else(|| Error::UnknownParam(p.clone()))?,
-        ),
-        TExpr::Bin(op, a, b) => {
-            let va = conv_comm_expr(emit, a, iter_name, rank_var)?;
-            let vb = conv_comm_expr(emit, b, iter_name, rank_var)?;
-            use crate::expr::Op;
-            let vop = match op {
-                Op::Add => loopvm::BinOp::Add,
-                Op::Sub => loopvm::BinOp::Sub,
-                Op::Mul => loopvm::BinOp::Mul,
-                Op::Div => loopvm::BinOp::Div,
-                Op::Rem => loopvm::BinOp::Rem,
-                Op::Min => loopvm::BinOp::Min,
-                Op::Max => loopvm::BinOp::Max,
-                Op::Lt => loopvm::BinOp::Lt,
-                Op::Le => loopvm::BinOp::Le,
-                Op::Eq => loopvm::BinOp::EqCmp,
-                Op::And => loopvm::BinOp::And,
-                Op::Or => loopvm::BinOp::Or,
-            };
-            VExpr::Bin(vop, Box::new(va), Box::new(vb))
+        layer4::validate_comm(f, param_vals)
+    }
+
+    // Rank programs keep their bounds in the raw scheduled form.
+    fn fold_bound(&self, e: VExpr) -> VExpr {
+        e
+    }
+
+    fn loop_kind(&self, tag: Option<Tag>) -> Result<LoopKind> {
+        match tag {
+            Some(Tag::Parallel) => Ok(LoopKind::Parallel),
+            Some(Tag::Vectorize(w)) => Ok(LoopKind::Vectorize(w)),
+            Some(Tag::Unroll(u)) => Ok(LoopKind::Unroll(u)),
+            Some(Tag::GpuBlock(_) | Tag::GpuThread(_)) => Err(Error::Backend(
+                "GPU tags are not supported by the distributed backend".into(),
+            )),
+            _ => Ok(LoopKind::Serial),
         }
-        other => {
-            return Err(Error::Backend(format!(
-                "unsupported communication expression: {other:?}"
-            )))
+    }
+
+    fn convert_loop(
+        &mut self,
+        lm: &mut LoweredModule<'_>,
+        node: &LoopNode,
+    ) -> Result<Option<Vec<Stmt>>> {
+        if !matches!(node, LoopNode::Loop { tag: Some(Tag::Distribute), .. }) {
+            return Ok(None);
         }
-    })
+        let rank_var = self.rank_var.expect("rank var allocated at emit start");
+        layer4::rank_conditional(lm, self, node, rank_var).map(Some)
+    }
+
+    fn emit(&mut self, lm: &mut LoweredModule<'_>, roots: &[LoopNode]) -> Result<DistModule> {
+        let rank_var = lm.program.var("rank");
+        self.rank_var = Some(rank_var);
+        let preamble = lm.param_lets();
+        let body = layer4::interleave_comm(lm, self, roots, rank_var)?;
+        let program = std::mem::take(&mut lm.program);
+        Ok(DistModule {
+            dist: DistProgram { program, rank_var, body, preamble },
+            buffer_map: std::mem::take(&mut lm.buffer_map),
+            trace: None,
+        })
+    }
+
+    fn module_stats(&self, module: &DistModule) -> (usize, String) {
+        (layer4::count_dist_stmts(&module.dist.body), module.dist.pretty())
+    }
 }
 
 #[cfg(test)]
@@ -304,6 +153,7 @@ mod tests {
     use super::*;
     use crate::expr::Expr;
     use crate::function::Var;
+    use mpisim::DistStmt;
 
     /// The paper's Figure 3(c): distributed 1-D blur with halo exchange.
     /// Each rank owns CHUNK rows of `lin`; it sends its first row to the

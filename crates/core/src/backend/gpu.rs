@@ -8,15 +8,19 @@
 //! ...), and host↔device copies are accounted per input/output buffer,
 //! mirroring the paper's "the reported times are the total execution
 //! times (data copy and kernel execution)".
+//!
+//! The shared AST walk lives in [`crate::backend::lowered`] and the
+//! kernel-nest recognition in the crate-private `gpu_extract` module;
+//! this module contributes the tag→loop-kind mapping (CPU tags degrade
+//! to serial inside kernels), the copy plan, and the module assembly.
 
-use crate::backend::cpu::{CpuOptions, Emit};
+use crate::backend::gpu_extract::{subtree_has_gpu_tag, try_extract_kernel};
+use crate::backend::lowered::{count_vm_stmts, EmitTarget, LoopNode, LoweredModule};
 use crate::expr::CompId;
 use crate::function::{CompKind, Error, Function, MemSpace as TMemSpace, Result, Tag};
-use crate::legality;
-use crate::lowering::lower;
+use crate::pipeline::{self, CompileTrace};
 use gpusim::{GpuModel, Kernel, LaunchStats, MemSpace};
-use loopvm::{Expr as VExpr, Stmt};
-use polyhedral::{AstExpr, AstNode};
+use loopvm::LoopKind;
 use std::collections::HashMap;
 
 /// Options for GPU compilation.
@@ -24,11 +28,15 @@ use std::collections::HashMap;
 pub struct GpuOptions {
     /// Verify the schedule before code generation (on by default).
     pub check_legality: bool,
+    /// Record a [`CompileTrace`], retrievable via
+    /// [`GpuModule::compile_trace`]. The `TIRAMISU_TRACE` environment
+    /// variable enables this globally.
+    pub trace: bool,
 }
 
 impl Default for GpuOptions {
     fn default() -> Self {
-        GpuOptions { check_legality: true }
+        GpuOptions { check_legality: true, trace: false }
     }
 }
 
@@ -45,6 +53,7 @@ pub struct GpuModule {
     pub h2d: Vec<(String, usize)>,
     /// Buffers copied device→host after execution (name, bytes).
     pub d2h: Vec<(String, usize)>,
+    trace: Option<CompileTrace>,
 }
 
 /// Result of running a GPU module: kernel stats plus copy cycles.
@@ -69,6 +78,11 @@ impl GpuModule {
     /// Index of a buffer by Tiramisu name.
     pub fn buffer_index(&self, name: &str) -> Option<usize> {
         self.buffer_map.get(name).map(|b| b.index())
+    }
+
+    /// The compile trace, when tracing was enabled.
+    pub fn compile_trace(&self) -> Option<&CompileTrace> {
+        self.trace.as_ref()
     }
 
     /// Runs all kernels in order on the modeled device.
@@ -99,84 +113,126 @@ impl GpuModule {
 /// Legality violations, malformed kernel nests (GPU tags not forming a
 /// block/thread prefix), non-constant launch geometry.
 pub fn compile(f: &Function, params: &[(&str, i64)], options: GpuOptions) -> Result<GpuModule> {
-    if options.check_legality {
-        legality::assert_legal(f)?;
-    }
-    let lowered = lower(f)?;
-    let mut param_vals = HashMap::new();
-    for (k, v) in params {
-        param_vals.insert(k.to_string(), *v);
-    }
-    for p in &f.params {
-        if !param_vals.contains_key(p) {
-            return Err(Error::UnknownParam(format!("parameter {p} not bound")));
-        }
-    }
-    let mut emit = Emit::new(f, lowered, CpuOptions::default(), param_vals.clone(), true);
-    crate::lowering::specialize_params(&mut emit.lowered, f, &emit.param_vals);
-    emit.assign_buffers()?;
-    emit.declare_vars();
-    let ast = polyhedral::build_ast(&emit.lowered.stmts, &polyhedral::AstBuild::default())
-        .map_err(|e| Error::Backend(e.to_string()))?;
+    let check = options.check_legality;
+    let trace = options.trace;
+    let mut target = GpuTarget;
+    let (mut module, trace) = pipeline::compile_with(f, params, check, trace, &mut target)?;
+    module.trace = trace;
+    Ok(module)
+}
 
-    // Param bindings are re-emitted inside every kernel body (kernel
-    // frames are fresh per launch).
-    let param_lets: Vec<Stmt> = f
-        .params
-        .iter()
-        .map(|p| Stmt::let_(emit.param_vars[p], VExpr::i64(param_vals[p])))
-        .collect();
+/// The GPU emit target: kernels extracted from `gpuB`/`gpuT` nests, CPU
+/// tags degraded to serial loops inside kernel bodies.
+struct GpuTarget;
 
-    let mut kernels = Vec::new();
-    for node in &ast {
-        if let Some(kernel) = try_extract_kernel(&mut emit, node, &param_lets)? {
-            kernels.push(kernel);
-        } else if subtree_has_gpu_tag(&emit, node) {
-            return Err(Error::Backend(
-                "GPU-tagged loops must form the outermost levels of their nest".into(),
-            ));
-        } else {
-            return Err(Error::Backend(
-                "computation outside any GPU kernel (host-side statements are not \
-                 supported by the GPU backend; keep the whole pipeline on device)"
-                    .into(),
-            ));
-        }
+impl EmitTarget for GpuTarget {
+    type Module = GpuModule;
+
+    fn name(&self) -> &'static str {
+        "gpu"
     }
 
-    // Copy plan: input buffers go host→device; buffers not read by any
-    // computation come back device→host.
-    let mut h2d = Vec::new();
-    let mut d2h = Vec::new();
-    let mut consumed: Vec<u32> = Vec::new();
-    for c in &f.comps {
-        if let Some(e) = &c.expr {
-            for (id, _) in e.accesses() {
-                consumed.push(id.0);
+    fn loop_kind(&self, tag: Option<Tag>) -> Result<LoopKind> {
+        Ok(match tag {
+            None | Some(Tag::Parallel) | Some(Tag::Vectorize(_)) => LoopKind::Serial,
+            Some(Tag::Unroll(u)) => LoopKind::Unroll(u),
+            Some(Tag::Distribute) => {
+                return Err(Error::Backend(
+                    "distribute() cannot appear inside a GPU kernel".into(),
+                ))
+            }
+            Some(Tag::GpuBlock(_)) | Some(Tag::GpuThread(_)) => {
+                return Err(Error::Backend(
+                    "GPU-tagged loop reached statement conversion (malformed kernel nest)"
+                        .into(),
+                ))
+            }
+        })
+    }
+
+    fn emit(&mut self, lm: &mut LoweredModule<'_>, roots: &[LoopNode]) -> Result<GpuModule> {
+        // Param bindings are re-emitted inside every kernel body (kernel
+        // frames are fresh per launch).
+        let param_lets = lm.param_lets();
+        let mut kernels = Vec::new();
+        for node in roots {
+            if let Some(kernel) = try_extract_kernel(lm, self, node, &param_lets)? {
+                kernels.push(kernel);
+            } else if subtree_has_gpu_tag(node) {
+                return Err(Error::Backend(
+                    "GPU-tagged loops must form the outermost levels of their nest".into(),
+                ));
+            } else {
+                return Err(Error::Backend(
+                    "computation outside any GPU kernel (host-side statements are not \
+                     supported by the GPU backend; keep the whole pipeline on device)"
+                        .into(),
+                ));
             }
         }
-    }
-    for (idx, c) in f.comps.iter().enumerate() {
-        if c.inlined {
-            continue;
+
+        // Copy plan: input buffers go host→device; buffers not read by any
+        // computation come back device→host.
+        let f = lm.f;
+        let mut h2d = Vec::new();
+        let mut d2h = Vec::new();
+        let mut consumed: Vec<u32> = Vec::new();
+        for c in &f.comps {
+            if let Some(e) = &c.expr {
+                for (id, _) in e.accesses() {
+                    consumed.push(id.0);
+                }
+            }
         }
-        let Some(vm) = emit.buffer_map.get(buffer_name_of(f, idx)).copied() else {
-            continue;
-        };
-        let bytes = emit.program.buffer_info(vm).1 * 4;
-        if c.kind == CompKind::Input {
-            h2d.push((buffer_name_of(f, idx).to_string(), bytes));
-        } else if !consumed.contains(&(idx as u32)) {
-            d2h.push((buffer_name_of(f, idx).to_string(), bytes));
+        for (idx, c) in f.comps.iter().enumerate() {
+            if c.inlined {
+                continue;
+            }
+            let Some(vm) = lm.buffer_map.get(buffer_name_of(f, idx)).copied() else {
+                continue;
+            };
+            let bytes = lm.program.buffer_info(vm).1 * 4;
+            if c.kind == CompKind::Input {
+                h2d.push((buffer_name_of(f, idx).to_string(), bytes));
+            } else if !consumed.contains(&(idx as u32)) {
+                d2h.push((buffer_name_of(f, idx).to_string(), bytes));
+            }
         }
+
+        // Buffer spaces from Layer III tags.
+        let spaces = buffer_spaces(f, lm);
+        for k in &mut kernels {
+            k.spaces = spaces.clone();
+        }
+        Ok(GpuModule {
+            kernels,
+            program: std::mem::take(&mut lm.program),
+            buffer_map: std::mem::take(&mut lm.buffer_map),
+            h2d,
+            d2h,
+            trace: None,
+        })
     }
 
-    // Buffer spaces from Layer III tags.
-    let spaces = buffer_spaces(f, &emit);
-    for k in &mut kernels {
-        k.spaces = spaces.clone();
+    fn module_stats(&self, module: &GpuModule) -> (usize, String) {
+        let mut nodes = 0;
+        let mut out = String::new();
+        for (k, ker) in module.kernels.iter().enumerate() {
+            nodes += count_vm_stmts(&ker.program.body);
+            out.push_str(&format!(
+                "// kernel {k}: grid [{}, {}] block [{}, {}]\n",
+                ker.grid[0], ker.grid[1], ker.block[0], ker.block[1]
+            ));
+            out.push_str(&ker.program.pretty_stmts(&ker.program.body, 0));
+        }
+        for (n, b) in &module.h2d {
+            out.push_str(&format!("// h2d {n}: {b} bytes\n"));
+        }
+        for (n, b) in &module.d2h {
+            out.push_str(&format!("// d2h {n}: {b} bytes\n"));
+        }
+        (nodes, out)
     }
-    Ok(GpuModule { kernels, program: emit.program, buffer_map: emit.buffer_map, h2d, d2h })
 }
 
 fn buffer_name_of(f: &Function, comp_idx: usize) -> &str {
@@ -187,10 +243,10 @@ fn buffer_name_of(f: &Function, comp_idx: usize) -> &str {
     }
 }
 
-fn buffer_spaces(f: &Function, emit: &Emit<'_>) -> Vec<MemSpace> {
-    let mut spaces = vec![MemSpace::Global; emit.program.n_buffers()];
+fn buffer_spaces(f: &Function, lm: &LoweredModule<'_>) -> Vec<MemSpace> {
+    let mut spaces = vec![MemSpace::Global; lm.program.n_buffers()];
     for b in &f.buffers {
-        if let Some(vm) = emit.buffer_map.get(&b.name) {
+        if let Some(vm) = lm.buffer_map.get(&b.name) {
             spaces[vm.index()] = match b.space {
                 TMemSpace::Host | TMemSpace::GpuGlobal => MemSpace::Global,
                 TMemSpace::GpuShared => MemSpace::Shared,
@@ -200,293 +256,6 @@ fn buffer_spaces(f: &Function, emit: &Emit<'_>) -> Vec<MemSpace> {
         }
     }
     spaces
-}
-
-fn subtree_has_gpu_tag(emit: &Emit<'_>, node: &AstNode) -> bool {
-    match node {
-        AstNode::For { body, .. } => {
-            matches!(
-                emit.lowered.tag_of_node(node),
-                Ok(Some(Tag::GpuBlock(_))) | Ok(Some(Tag::GpuThread(_)))
-            ) || body.iter().any(|n| subtree_has_gpu_tag(emit, n))
-        }
-        AstNode::Stmt { .. } => false,
-    }
-}
-
-/// A recognized GPU loop level: its bounds and schedule position.
-struct GpuLevel {
-    level: usize,
-    lower: AstExpr,
-    upper: AstExpr,
-}
-
-/// A thread axis extracted from one phase: iteration extent, dynamic
-/// start expression, and leftover bound guards.
-struct ThreadAxis {
-    extent: i64,
-    lo: VExpr,
-    guards: Vec<(bool, VExpr)>, // (is_lower, bound expr) vs the level var
-    level: usize,
-}
-
-/// Tries to extract a kernel from an AST node rooted at a `gpuB`-tagged
-/// loop. The body below the block loops may contain several *phases*
-/// (children), each rooted at `gpuT`-tagged loops — e.g. a cooperative
-/// `cache_shared_at` copy followed by the computation. Phases execute with
-/// block-level barriers between them.
-fn try_extract_kernel(
-    emit: &mut Emit<'_>,
-    node: &AstNode,
-    param_lets: &[Stmt],
-) -> Result<Option<Kernel>> {
-    if !matches!(emit.lowered.tag_of_node(node)?, Some(Tag::GpuBlock(_))) {
-        return Ok(None);
-    }
-    // Collect the (1-2) block loops along the single-child spine.
-    let mut blocks: Vec<GpuLevel> = Vec::new();
-    let mut current = node;
-    let phase_nodes: &[AstNode] = loop {
-        let AstNode::For { level, lower, upper, body, .. } = current else {
-            return Err(Error::Backend("malformed kernel nest".into()));
-        };
-        if matches!(emit.lowered.tag_of_node(current)?, Some(Tag::GpuBlock(_)))
-            && blocks.len() < 2
-        {
-            blocks.push(GpuLevel { level: *level, lower: lower.clone(), upper: upper.clone() });
-            if body.len() == 1
-                && matches!(emit.lowered.tag_of_node(&body[0])?, Some(Tag::GpuBlock(_)))
-                && blocks.len() < 2
-            {
-                current = &body[0];
-                continue;
-            }
-            break body;
-        }
-        return Err(Error::Backend("malformed kernel nest".into()));
-    };
-
-    let mut grid = [1i64, 1i64];
-    let mut block_vars = [None, None];
-    let mut index_lets: Vec<Stmt> = Vec::new();
-    let mut block_guards: Vec<VExpr> = Vec::new();
-    for (d, b) in blocks.iter().enumerate() {
-        let lo = const_candidate(emit, &b.lower, false).ok_or_else(|| {
-            Error::Backend("block loop lower bound needs a constant candidate".into())
-        })?;
-        let hi = const_candidate(emit, &b.upper, false).ok_or_else(|| {
-            Error::Backend("block loop upper bound needs a constant candidate".into())
-        })?;
-        grid[d] = (hi - lo + 1).max(0);
-        let raw = emit.program.var(&format!("blockIdx{d}"));
-        block_vars[d] = Some(raw);
-        index_lets.push(Stmt::let_(
-            emit.time_vars[b.level],
-            VExpr::var(raw) + VExpr::i64(lo),
-        ));
-        for q in b.upper.candidates() {
-            if aff_is_param_const(emit, q).is_none() {
-                let bound = emit.conv_qaff(q);
-                block_guards.push(VExpr::le(VExpr::var(emit.time_vars[b.level]), bound));
-            }
-        }
-        for q in b.lower.candidates() {
-            if aff_is_param_const(emit, q).is_none() {
-                let bound = emit.conv_qaff(q);
-                block_guards.push(VExpr::le(bound, VExpr::var(emit.time_vars[b.level])));
-            }
-        }
-    }
-
-    // Extract each phase: its thread loops and converted body.
-    struct Phase {
-        axes: Vec<ThreadAxis>,
-        body: Vec<Stmt>,
-    }
-    let mut phases: Vec<Phase> = Vec::new();
-    for child in phase_nodes {
-        let mut axes: Vec<ThreadAxis> = Vec::new();
-        let mut cur = child;
-        let inner: &[AstNode] = loop {
-            let AstNode::For { level, lower, upper, body, .. } = cur else {
-                break std::slice::from_ref(cur);
-            };
-            if matches!(emit.lowered.tag_of_node(cur)?, Some(Tag::GpuThread(_)))
-                && axes.len() < 2
-            {
-                axes.push(thread_axis(emit, *level, lower, upper)?);
-                if body.len() == 1 {
-                    cur = &body[0];
-                    continue;
-                }
-                break body;
-            }
-            break std::slice::from_ref(cur);
-        };
-        if axes.is_empty() {
-            return Err(Error::Backend(
-                "kernel phase without gpuT-tagged loops (tag the copy/computation loops)"
-                    .into(),
-            ));
-        }
-        let body = emit.convert_nodes(inner)?;
-        phases.push(Phase { axes, body });
-    }
-    if phases.is_empty() {
-        return Err(Error::Backend("gpuB-tagged loop without a kernel body".into()));
-    }
-
-    // Block geometry: the max extent over phases, per axis.
-    let mut block = [1i64, 1i64];
-    for ph in &phases {
-        for (d, ax) in ph.axes.iter().enumerate() {
-            block[d] = block[d].max(ax.extent.max(0));
-        }
-    }
-    let mut thread_vars = [None, None];
-    let mut raw_threads = Vec::new();
-    for d in 0..2 {
-        if block[d] > 1 || phases.iter().any(|p| p.axes.len() > d) {
-            let raw = emit.program.var(&format!("threadIdx{d}"));
-            thread_vars[d] = Some(raw);
-            raw_threads.push(raw);
-        }
-    }
-
-    // Assemble the kernel body: one top-level statement per phase, with a
-    // barrier after each (cooperative phases synchronize block-wide).
-    let mut body: Vec<Stmt> = param_lets.to_vec();
-    body.extend(index_lets);
-    let preamble_len = body.len();
-    let mut barriers = Vec::new();
-    for ph in phases {
-        let mut stmts: Vec<Stmt> = Vec::new();
-        let mut guards: Vec<VExpr> = block_guards.clone();
-        for (d, ax) in ph.axes.iter().enumerate() {
-            let raw = thread_vars[d].expect("axis var allocated");
-            stmts.push(Stmt::let_(
-                emit.time_vars[ax.level],
-                VExpr::var(raw) + ax.lo.clone(),
-            ));
-            // Mask lanes beyond this phase's extent (other phases may be
-            // wider) and apply leftover bound candidates.
-            if ax.extent < block[d] {
-                guards.push(VExpr::lt(VExpr::var(raw), VExpr::i64(ax.extent)));
-            }
-            let v = emit.time_vars[ax.level];
-            for (is_lower, bound) in &ax.guards {
-                if *is_lower {
-                    guards.push(VExpr::le(bound.clone(), VExpr::var(v)));
-                } else {
-                    guards.push(VExpr::le(VExpr::var(v), bound.clone()));
-                }
-            }
-        }
-        let inner = if guards.is_empty() {
-            ph.body
-        } else {
-            let cond = guards.into_iter().reduce(VExpr::and).unwrap();
-            vec![Stmt::if_then(cond, ph.body)]
-        };
-        body.extend(stmts);
-        body.extend(inner);
-        barriers.push(body.len() - 1);
-    }
-    // No barrier needed after the last phase.
-    barriers.pop();
-    // Barrier indices refer to top-level body statements; the preamble
-    // offsets are already included via body.len().
-    let _ = preamble_len;
-
-    let mut program = emit.program.clone();
-    program.body = body;
-    let mut kernel = Kernel::new(program, grid, block);
-    kernel.block_vars = block_vars;
-    kernel.thread_vars = thread_vars;
-    kernel.barriers = barriers;
-    Ok(Some(kernel))
-}
-
-/// Extracts a thread axis from a `gpuT` loop: picks the candidate bound
-/// pair whose difference is a parameter-constant (the structural tile
-/// extent), makes the lower bound the dynamic start, and turns every other
-/// candidate into a lane guard.
-fn thread_axis(
-    emit: &mut Emit<'_>,
-    level: usize,
-    lower: &AstExpr,
-    upper: &AstExpr,
-) -> Result<ThreadAxis> {
-    let mut best: Option<(i64, polyhedral::QAff, polyhedral::QAff)> = None;
-    for lc in lower.candidates() {
-        if lc.den != 1 {
-            continue;
-        }
-        for uc in upper.candidates() {
-            if uc.den != 1 {
-                continue;
-            }
-            let diff = uc.num.sub(&lc.num);
-            let q = polyhedral::QAff { num: diff, den: 1, ceil: false };
-            if let Some(d) = aff_is_param_const(emit, &q) {
-                if best.as_ref().map(|(e, _, _)| d + 1 < *e).unwrap_or(true) {
-                    best = Some((d + 1, lc.clone(), uc.clone()));
-                }
-            }
-        }
-    }
-    let (extent, lc, uc) = best.ok_or_else(|| {
-        Error::Backend("thread loop bounds have no constant-extent candidate pair".into())
-    })?;
-    let mut guards = Vec::new();
-    for q in lower.candidates() {
-        if q != &lc {
-            guards.push((true, emit.conv_qaff(q)));
-        }
-    }
-    for q in upper.candidates() {
-        if q != &uc {
-            guards.push((false, emit.conv_qaff(q)));
-        }
-    }
-    Ok(ThreadAxis { extent, lo: emit.conv_qaff(&lc), guards, level })
-}
-
-/// Evaluates a bound to a constant using only parameter values. With
-/// `must = true` every candidate must be constant (the bound's min/max is
-/// returned); with `must = false` the structural (tile-size) candidate is
-/// picked: smallest constant for uppers, largest for lowers.
-fn const_candidate(emit: &Emit<'_>, e: &AstExpr, must: bool) -> Option<i64> {
-    let vals: Vec<Option<i64>> =
-        e.candidates().iter().map(|q| aff_is_param_const(emit, q)).collect();
-    if must {
-        let all: Option<Vec<i64>> = vals.into_iter().collect();
-        let all = all?;
-        Some(match e {
-            AstExpr::Max(_) => all.into_iter().max().unwrap(),
-            AstExpr::Min(_) => all.into_iter().min().unwrap(),
-        })
-    } else {
-        match e {
-            AstExpr::Min(_) => vals.into_iter().flatten().min(),
-            AstExpr::Max(_) => vals.into_iter().flatten().max(),
-        }
-    }
-}
-
-/// Evaluates a quasi-affine bound when it only references parameters.
-fn aff_is_param_const(emit: &Emit<'_>, q: &polyhedral::QAff) -> Option<i64> {
-    let m = emit.lowered.m;
-    for t in 0..m {
-        if q.num.coeff(t) != 0 {
-            return None;
-        }
-    }
-    let mut point = vec![0i64; m + emit.f.params.len()];
-    for (k, p) in emit.f.params.iter().enumerate() {
-        point[m + k] = emit.param_vals[p];
-    }
-    Some(q.eval(&point))
 }
 
 /// `C.host_to_device()` (Table II): records an additional buffer in the

@@ -6,7 +6,13 @@
 //!   simulator,
 //! - [`dist`] — distributed memory via the `mpisim` message-passing
 //!   runtime (the paper's MPI backend).
+//!
+//! All three compile through the shared pass pipeline
+//! ([`crate::pipeline`]); the backend-neutral AST walk and the
+//! [`lowered::EmitTarget`] contract live in [`lowered`].
 
 pub mod cpu;
 pub mod dist;
 pub mod gpu;
+pub(crate) mod gpu_extract;
+pub mod lowered;

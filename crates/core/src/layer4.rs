@@ -218,6 +218,180 @@ pub fn validate_comm(f: &Function, params: &HashMap<String, i64>) -> Result<()> 
     Ok(())
 }
 
+/// Builds the rank-program body: Layer IV ops interleaved with the
+/// computation roots at their scheduled anchors. Unanchored ops run
+/// first (declaration order); an op anchored `before` a computation is
+/// emitted ahead of the top-level loop nest containing it (the paper's
+/// `s.before(bx, root)`).
+pub(crate) fn interleave_comm<T: crate::backend::lowered::EmitTarget + ?Sized>(
+    lm: &mut crate::backend::lowered::LoweredModule<'_>,
+    target: &mut T,
+    roots: &[crate::backend::lowered::LoopNode],
+    rank_var: loopvm::Var,
+) -> Result<Vec<mpisim::DistStmt>> {
+    use crate::backend::lowered::comps_in;
+    use mpisim::DistStmt;
+    let mut unanchored: Vec<&CommOp> = Vec::new();
+    let mut anchored: HashMap<u32, Vec<&CommOp>> = HashMap::new();
+    for op in &lm.f.comm {
+        match op.before {
+            Some(c) => anchored.entry(c.0).or_default().push(op),
+            None => unanchored.push(op),
+        }
+    }
+    let mut body: Vec<DistStmt> = Vec::new();
+    for op in &unanchored {
+        body.push(lower_comm(lm, op, rank_var)?);
+    }
+    for node in roots {
+        for c in &comps_in(node, &lm.lowered) {
+            if let Some(ops) = anchored.remove(c) {
+                for op in ops {
+                    body.push(lower_comm(lm, op, rank_var)?);
+                }
+            }
+        }
+        let stmts = lm.convert_nodes(std::slice::from_ref(node), target)?;
+        body.push(DistStmt::Compute(stmts));
+    }
+    Ok(body)
+}
+
+/// Converts a `distribute()`-tagged loop into a rank conditional
+/// (paper §V-A): `for (v in lo..=hi) body` becomes
+/// `if (lo <= rank <= hi) { v = rank; body }`. Bounds stay in their raw
+/// scheduled form (the simulator prices the arithmetic either way).
+pub(crate) fn rank_conditional<T: crate::backend::lowered::EmitTarget + ?Sized>(
+    lm: &mut crate::backend::lowered::LoweredModule<'_>,
+    target: &mut T,
+    node: &crate::backend::lowered::LoopNode,
+    rank_var: loopvm::Var,
+) -> Result<Vec<loopvm::Stmt>> {
+    use crate::backend::lowered::LoopNode;
+    use loopvm::{Expr as VExpr, Stmt};
+    let LoopNode::Loop { level, lower, upper, body, .. } = node else {
+        return Err(Error::Backend("distribute() tag on a statement node".into()));
+    };
+    let lo = lm.conv_bound(lower);
+    let hi = lm.conv_bound(upper);
+    let var = lm.time_vars[*level];
+    let mut inner = vec![Stmt::let_(var, VExpr::var(rank_var))];
+    inner.extend(lm.convert_nodes(body, target)?);
+    Ok(vec![Stmt::if_then(
+        VExpr::and(
+            VExpr::le(lo, VExpr::var(rank_var)),
+            VExpr::le(VExpr::var(rank_var), hi),
+        ),
+        inner,
+    )])
+}
+
+/// VM statements under the rank-program body (comm ops count as one).
+pub(crate) fn count_dist_stmts(body: &[mpisim::DistStmt]) -> usize {
+    use mpisim::DistStmt;
+    body.iter()
+        .map(|s| match s {
+            DistStmt::Compute(stmts) => crate::backend::lowered::count_vm_stmts(stmts),
+            DistStmt::If { body, .. } => 1 + count_dist_stmts(body),
+            DistStmt::Send { .. } | DistStmt::Recv { .. } | DistStmt::Barrier => 1,
+        })
+        .sum()
+}
+
+/// Lowers one Layer IV operation to a `DistStmt`, substituting the op's
+/// rank iterator with the rank variable and parameters with their values.
+pub(crate) fn lower_comm(
+    lm: &crate::backend::lowered::LoweredModule<'_>,
+    op: &CommOp,
+    rank_var: loopvm::Var,
+) -> Result<mpisim::DistStmt> {
+    use loopvm::Expr as VExpr;
+    use mpisim::DistStmt;
+    if matches!(op.kind, CommKind::Barrier) {
+        return Ok(DistStmt::Barrier);
+    }
+    let buf = lm
+        .buffer_map
+        .get(&op.buffer)
+        .copied()
+        .ok_or_else(|| Error::Backend(format!("unknown buffer {} in comm op", op.buffer)))?;
+    let conv = |e: &Expr| -> Result<VExpr> { conv_comm_expr(lm, e, &op.iter.name, rank_var) };
+    // Domain guard: lo <= rank < hi.
+    let lo = conv(&op.iter.lo)?;
+    let hi = conv(&op.iter.hi)?;
+    let guard = VExpr::and(
+        VExpr::le(lo, VExpr::var(rank_var)),
+        VExpr::lt(VExpr::var(rank_var), hi),
+    );
+    let inner = match &op.kind {
+        CommKind::Send { dest, asynchronous } => DistStmt::Send {
+            dest: conv(dest)?,
+            buf,
+            offset: conv(&op.offset)?,
+            count: conv(&op.count)?,
+            asynchronous: *asynchronous,
+        },
+        CommKind::Recv { src } => DistStmt::Recv {
+            src: conv(src)?,
+            buf,
+            offset: conv(&op.offset)?,
+            count: conv(&op.count)?,
+        },
+        CommKind::Barrier => unreachable!(),
+    };
+    Ok(DistStmt::If { cond: guard, body: vec![inner] })
+}
+
+/// Converts a Layer IV expression: the op's iterator becomes the rank
+/// variable; parameters become constants (comm expressions are evaluated
+/// outside VM frames).
+fn conv_comm_expr(
+    lm: &crate::backend::lowered::LoweredModule<'_>,
+    e: &Expr,
+    iter_name: &str,
+    rank_var: loopvm::Var,
+) -> Result<loopvm::Expr> {
+    use loopvm::Expr as VExpr;
+    Ok(match e {
+        Expr::I64(v) => VExpr::i64(*v),
+        Expr::Iter(n) if n == iter_name => VExpr::var(rank_var),
+        Expr::Iter(n) => {
+            return Err(Error::Backend(format!(
+                "communication expressions may only use the op iterator (got {n})"
+            )))
+        }
+        Expr::Param(p) => VExpr::i64(
+            *lm.param_vals
+                .get(p)
+                .ok_or_else(|| Error::UnknownParam(p.clone()))?,
+        ),
+        Expr::Bin(op, a, b) => {
+            let va = conv_comm_expr(lm, a, iter_name, rank_var)?;
+            let vb = conv_comm_expr(lm, b, iter_name, rank_var)?;
+            let vop = match op {
+                Op::Add => loopvm::BinOp::Add,
+                Op::Sub => loopvm::BinOp::Sub,
+                Op::Mul => loopvm::BinOp::Mul,
+                Op::Div => loopvm::BinOp::Div,
+                Op::Rem => loopvm::BinOp::Rem,
+                Op::Min => loopvm::BinOp::Min,
+                Op::Max => loopvm::BinOp::Max,
+                Op::Lt => loopvm::BinOp::Lt,
+                Op::Le => loopvm::BinOp::Le,
+                Op::Eq => loopvm::BinOp::EqCmp,
+                Op::And => loopvm::BinOp::And,
+                Op::Or => loopvm::BinOp::Or,
+            };
+            VExpr::Bin(vop, Box::new(va), Box::new(vb))
+        }
+        other => {
+            return Err(Error::Backend(format!(
+                "unsupported communication expression: {other:?}"
+            )))
+        }
+    })
+}
+
 /// Evaluates a Layer IV expression with the op iterator bound to
 /// `iter_val` and parameters bound to `params`. `None` means "not
 /// statically evaluable" (foreign iterators, accesses, floats).

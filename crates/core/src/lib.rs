@@ -52,6 +52,7 @@ pub mod function;
 pub mod layer4;
 pub mod legality;
 pub mod lowering;
+pub mod pipeline;
 pub mod schedule;
 
 pub use expr::{CompId, Expr, Op, UnOp};
@@ -61,4 +62,5 @@ pub use function::{
 pub use backend::cpu::{compile as compile_cpu, CpuModule, CpuOptions};
 pub use backend::dist::{compile as compile_dist, DistModule, DistOptions};
 pub use backend::gpu::{compile as compile_gpu, GpuModule, GpuOptions, GpuRun};
+pub use pipeline::{CompileTrace, PassTrace};
 pub use schedule::At;

@@ -688,8 +688,8 @@ mod tests {
         let mut bufs = alloc_buffers(&k);
         let stats = launch(&k, &mut bufs, &GpuModel::default()).unwrap();
         assert!(stats.divergent_branches >= 1);
-        for t in 0..32 {
-            assert_eq!(bufs[0][t], t as f32, "lane {t}");
+        for (t, v) in bufs[0].iter().enumerate().take(32) {
+            assert_eq!(*v, t as f32, "lane {t}");
         }
     }
 

@@ -152,7 +152,7 @@ pub fn infer_bounds(p: &Pipeline, output_extents: &[i64]) -> Result<BoundsInfo> 
             env.insert(v.clone(), *iv);
         }
         // Visit accesses in the definition.
-        visit_accesses(&f.def, &env, &mut func_box, &mut input_required, p)?;
+        visit_accesses(&f.def, &env, &mut func_box, &mut input_required)?;
     }
 
     // Validate inputs.
@@ -190,14 +190,13 @@ fn visit_accesses(
     env: &HashMap<String, Interval>,
     func_box: &mut [Option<Vec<Interval>>],
     input_required: &mut [Option<Vec<Interval>>],
-    p: &Pipeline,
 ) -> Result<()> {
     match e {
         HExpr::Call(g, idx) => {
             let mut req = Vec::with_capacity(idx.len());
             for ix in idx {
                 req.push(eval_interval(ix, env)?);
-                visit_accesses(ix, env, func_box, input_required, p)?;
+                visit_accesses(ix, env, func_box, input_required)?;
             }
             let slot = &mut func_box[g.index()];
             *slot = Some(match slot.take() {
@@ -209,7 +208,7 @@ fn visit_accesses(
             let mut req = Vec::with_capacity(idx.len());
             for ix in idx {
                 req.push(eval_interval(ix, env)?);
-                visit_accesses(ix, env, func_box, input_required, p)?;
+                visit_accesses(ix, env, func_box, input_required)?;
             }
             let slot = &mut input_required[k.index()];
             *slot = Some(match slot.take() {
@@ -225,16 +224,16 @@ fn visit_accesses(
         | HExpr::Max(a, b)
         | HExpr::Lt(a, b)
         | HExpr::Ge(a, b) => {
-            visit_accesses(a, env, func_box, input_required, p)?;
-            visit_accesses(b, env, func_box, input_required, p)?;
+            visit_accesses(a, env, func_box, input_required)?;
+            visit_accesses(b, env, func_box, input_required)?;
         }
         HExpr::Clamp(a, b, c) | HExpr::Select(a, b, c) => {
-            visit_accesses(a, env, func_box, input_required, p)?;
-            visit_accesses(b, env, func_box, input_required, p)?;
-            visit_accesses(c, env, func_box, input_required, p)?;
+            visit_accesses(a, env, func_box, input_required)?;
+            visit_accesses(b, env, func_box, input_required)?;
+            visit_accesses(c, env, func_box, input_required)?;
         }
         HExpr::Abs(a) | HExpr::CastF(a) | HExpr::CastI(a) => {
-            visit_accesses(a, env, func_box, input_required, p)?;
+            visit_accesses(a, env, func_box, input_required)?;
         }
         _ => {}
     }

@@ -205,7 +205,7 @@ pub fn tiramisu_dist_opts(
     let module = tiramisu::compile_dist(
         &f,
         &params(s),
-        DistOptions { check_legality: false, check_comm: true },
+        DistOptions { check_legality: false, ..DistOptions::default() },
     )?;
     Ok(DistPrep {
         name: "Tiramisu".into(),

@@ -57,7 +57,7 @@ pub fn gpu_variant(name: &str, s: ImgSize, flavor: GpuFlavor) -> tiramisu::Resul
         )));
     }
     let check = false; // cyclic-buffer benchmarks skip the flow check here
-    let opts = GpuOptions { check_legality: check };
+    let opts = GpuOptions { check_legality: check, ..GpuOptions::default() };
     match name {
         "edgeDetector" => {
             let (mut f, r, out) = edge_layer1(s);

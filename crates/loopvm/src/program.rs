@@ -172,6 +172,23 @@ impl Program {
         out
     }
 
+    /// Pretty-prints a statement slice using this program's buffer and
+    /// variable names, at the given starting indent. Used by consumers
+    /// that hold statements outside `body` (kernel phases, rank programs,
+    /// compile-trace snapshots).
+    pub fn pretty_stmts(&self, stmts: &[Stmt], indent: usize) -> String {
+        let mut out = String::new();
+        for s in stmts {
+            self.pretty_stmt(s, indent, &mut out);
+        }
+        out
+    }
+
+    /// Pretty-prints a single expression using this program's names.
+    pub fn pretty_expr_str(&self, e: &Expr) -> String {
+        self.pretty_expr(e)
+    }
+
     fn pretty_stmt(&self, s: &Stmt, indent: usize, out: &mut String) {
         let pad = "  ".repeat(indent);
         match s {

@@ -158,6 +158,62 @@ pub struct DistProgram {
     pub preamble: Vec<Stmt>,
 }
 
+impl DistProgram {
+    /// Pretty-prints the rank program as pseudo-C (for golden tests and
+    /// compile-trace snapshots): the preamble, then every statement with
+    /// sends/receives/barriers rendered in MPI-flavoured pseudo-code.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        if !self.preamble.is_empty() {
+            out.push_str("// preamble (re-run before every compute chunk)\n");
+            out.push_str(&self.program.pretty_stmts(&self.preamble, 0));
+        }
+        for s in &self.body {
+            self.pretty_dist_stmt(s, 0, &mut out);
+        }
+        out
+    }
+
+    fn pretty_dist_stmt(&self, s: &DistStmt, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        match s {
+            DistStmt::Compute(stmts) => {
+                out.push_str(&self.program.pretty_stmts(stmts, indent));
+            }
+            DistStmt::Send { dest, buf, offset, count, asynchronous } => {
+                let kind = if *asynchronous { "isend" } else { "send" };
+                out.push_str(&format!(
+                    "{pad}{kind}({}[{} .. +{}], to = {});\n",
+                    self.program.buffer_info(*buf).0,
+                    self.program.pretty_expr_str(offset),
+                    self.program.pretty_expr_str(count),
+                    self.program.pretty_expr_str(dest),
+                ));
+            }
+            DistStmt::Recv { src, buf, offset, count } => {
+                out.push_str(&format!(
+                    "{pad}recv({}[{} .. +{}], from = {});\n",
+                    self.program.buffer_info(*buf).0,
+                    self.program.pretty_expr_str(offset),
+                    self.program.pretty_expr_str(count),
+                    self.program.pretty_expr_str(src),
+                ));
+            }
+            DistStmt::If { cond, body } => {
+                out.push_str(&format!(
+                    "{pad}if ({}) {{\n",
+                    self.program.pretty_expr_str(cond)
+                ));
+                for b in body {
+                    self.pretty_dist_stmt(b, indent + 1, out);
+                }
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            DistStmt::Barrier => out.push_str(&format!("{pad}barrier();\n")),
+        }
+    }
+}
+
 /// Per-rank and aggregate execution statistics.
 #[derive(Debug, Clone, Default)]
 pub struct DistStats {

@@ -130,6 +130,7 @@ pub struct ScheduledStmt {
 
 /// AST builder: projection caches plus options.
 #[derive(Debug, Clone)]
+#[derive(Default)]
 pub struct AstBuild {
     /// Separate full tiles from partial tiles when loop bounds are
     /// min/max expressions (applied by the consuming backend; recorded here
@@ -137,11 +138,6 @@ pub struct AstBuild {
     pub separate_tiles: bool,
 }
 
-impl Default for AstBuild {
-    fn default() -> Self {
-        AstBuild { separate_tiles: false }
-    }
-}
 
 struct StmtInfo {
     index: usize,
@@ -519,13 +515,12 @@ fn bounds_at(
 pub fn interpret(nodes: &[AstNode], m: usize, params: &[i64], visit: &mut impl FnMut(usize, &[i64])) {
     let mut point = vec![0i64; m + params.len()];
     point[m..].copy_from_slice(params);
-    interpret_rec(nodes, &mut point, m, visit);
+    interpret_rec(nodes, &mut point, visit);
 }
 
 fn interpret_rec(
     nodes: &[AstNode],
     point: &mut Vec<i64>,
-    m: usize,
     visit: &mut impl FnMut(usize, &[i64]),
 ) {
     for n in nodes {
@@ -535,7 +530,7 @@ fn interpret_rec(
                 let hi = upper.eval(point);
                 for v in lo..=hi {
                     point[*level] = v;
-                    interpret_rec(body, point, m, visit);
+                    interpret_rec(body, point, visit);
                 }
                 point[*level] = 0;
             }
@@ -695,7 +690,7 @@ mod tests {
     #[test]
     fn single_rect_loop_nest() {
         // { S[i,j] : 0<=i<4, 0<=j<3 }, schedule (0, i, 0, j, 0).
-        let n = 2 + 0 + 1;
+        let n = 2 + 1;
         let s = simple_stmt(
             "S",
             &["i >= 0", "i <= 3", "j >= 0", "j <= 2"],
@@ -710,7 +705,7 @@ mod tests {
             &[],
             5,
         );
-        let got = run_ast(&[s.clone()], &[]);
+        let got = run_ast(std::slice::from_ref(&s), &[]);
         let expect = reference_order(&[s], &[], -1..=5);
         assert_eq!(got, expect);
         assert_eq!(got.len(), 12);
@@ -731,7 +726,7 @@ mod tests {
             &[],
             2,
         );
-        let got = run_ast(&[s.clone()], &[]);
+        let got = run_ast(std::slice::from_ref(&s), &[]);
         let expect = reference_order(&[s], &[], -1..=6);
         assert_eq!(got, expect);
         assert_eq!(got.len(), 15); // 1+2+3+4+5
@@ -887,7 +882,7 @@ mod tests {
             &[],
             2,
         );
-        let got = run_ast(&[s.clone()], &[]);
+        let got = run_ast(std::slice::from_ref(&s), &[]);
         let expect = reference_order(&[s], &[], -1..=8);
         assert_eq!(got, expect);
         assert_eq!(got.len(), 16);

@@ -231,8 +231,8 @@ impl BasicMap {
             .iter()
             .map(|c| {
                 let mut coeffs = vec![0i64; n];
-                for i in 0..n_out {
-                    coeffs[i] = c.aff.coeff(n_in + i);
+                for (i, co) in coeffs.iter_mut().enumerate().take(n_out) {
+                    *co = c.aff.coeff(n_in + i);
                 }
                 for i in 0..n_in {
                     coeffs[n_out + i] = c.aff.coeff(i);

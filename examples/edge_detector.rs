@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The same legality machinery rejects a genuinely illegal schedule.
     let mut f = tiramisu::Function::new("bad", &["N"]);
     let i = f.var("i", 0, tiramisu::Expr::param("N"));
-    let a = f.computation("a", &[i.clone()], tiramisu::Expr::f32(1.0))?;
+    let a = f.computation("a", std::slice::from_ref(&i), tiramisu::Expr::f32(1.0))?;
     let read = f.access(a, &[tiramisu::Expr::iter("i")]);
     let b = f.computation("b", &[i], read)?;
     f.after(a, b, tiramisu::At::Root)?; // producer after consumer

@@ -2,12 +2,14 @@
 //! the GPU-tiled blur. This is the textual form used throughout the
 //! paper — Layer I iteration domains, Layer II time–space mappings with
 //! space tags, Layer III access relations, Layer IV communication.
+//! Finally compiles the scheduled function with tracing enabled and
+//! prints the pass-by-pass compile report.
 //!
 //! ```text
 //! cargo run --release --example four_layers
 //! ```
 
-use tiramisu::{Expr as E, Function};
+use tiramisu::{compile_gpu, Expr as E, Function, GpuOptions};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut f = Function::new("blur", &["N", "M"]);
@@ -48,5 +50,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("--- after tile_gpu(i, j, 32, 32) and store_in({{c, i, j}}) ---\n");
     println!("{}", tiramisu::lowering::dump_layers(&f));
+
+    // Compile through the pass pipeline with tracing on and show what
+    // each pass did (also reachable via TIRAMISU_TRACE=1 on any run).
+    let module = compile_gpu(
+        &f,
+        &[("N", 128), ("M", 128)],
+        GpuOptions { trace: true, ..Default::default() },
+    )?;
+    println!("--- compile report ---\n");
+    println!("{}", module.compile_trace().expect("tracing enabled").report());
     Ok(())
 }

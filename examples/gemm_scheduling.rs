@@ -26,5 +26,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cycles = prep.run_modeled()?.cycles;
         println!("{name:42} {cycles:>12.0} cycles ({:.2}x)", cycles / base);
     }
+
+    // Where compile time itself goes: the pass pipeline's report for the
+    // gemm kernel (TIRAMISU_TRACE=1 gets the same on any run).
+    let (f, _, _) = kernels::sgemm::layer1(1.0, 1.0);
+    let module = tiramisu::compile_cpu(
+        &f,
+        &[("N", n)],
+        tiramisu::CpuOptions { check_legality: false, trace: true, ..Default::default() },
+    )?;
+    let report = module.compile_trace().expect("tracing enabled").report();
+    println!("\n{}", report.split("\n-- IR").next().unwrap().trim_end());
     Ok(())
 }

@@ -9,7 +9,7 @@ fn illegal_fusion_is_rejected_with_the_dependence_named() {
     // by(i) reads bx(i+1): plain fusion is illegal (needs a shift).
     let mut f = Function::new("t", &["N"]);
     let i = f.var("i", 0, E::param("N"));
-    let bx = f.computation("bx", &[i.clone()], E::f32(1.0)).unwrap();
+    let bx = f.computation("bx", std::slice::from_ref(&i), E::f32(1.0)).unwrap();
     let i2 = f.var("i", 0, E::param("N") - E::i64(1));
     let read = f.access(bx, &[E::iter("i") + E::i64(1)]);
     let by = f.computation("by", &[i2], read).unwrap();
@@ -52,7 +52,7 @@ fn invalid_tile_sizes_are_rejected() {
 fn compute_at_requires_a_read() {
     let mut f = Function::new("t", &["N"]);
     let i = f.var("i", 0, E::param("N"));
-    let a = f.computation("a", &[i.clone()], E::f32(1.0)).unwrap();
+    let a = f.computation("a", std::slice::from_ref(&i), E::f32(1.0)).unwrap();
     let b = f.computation("b", &[i], E::f32(2.0)).unwrap(); // no read of a
     assert!(f.compute_at(a, b, "i").is_err());
 }

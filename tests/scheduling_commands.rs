@@ -101,14 +101,14 @@ fn set_schedule_command() {
 fn after_and_fuse_after_commands() {
     let mut f = Function::new("t", &["N"]);
     let i = f.var("i", 0, E::param("N"));
-    let input = f.input("in", &[i.clone()]).unwrap();
+    let input = f.input("in", std::slice::from_ref(&i)).unwrap();
     let a = f
-        .computation("a", &[i.clone()], f.access(input, &[E::iter("i")]) + E::f32(1.0))
+        .computation("a", std::slice::from_ref(&i), f.access(input, &[E::iter("i")]) + E::f32(1.0))
         .unwrap();
     let b = f
         .computation(
             "b",
-            &[i.clone()],
+            std::slice::from_ref(&i),
             E::Access(a, vec![E::iter("i")]) * E::f32(3.0),
         )
         .unwrap();
@@ -125,8 +125,8 @@ fn after_and_fuse_after_commands() {
     }
     machine.run(&module.program).unwrap();
     let out = machine.buffer(module.vm_buffer("b").unwrap()).to_vec();
-    for k in 0..N as usize {
-        assert_eq!(out[k], (k as f32 + 1.0) * 3.0);
+    for (k, v) in out.iter().enumerate().take(N as usize) {
+        assert_eq!(*v, (k as f32 + 1.0) * 3.0);
     }
 }
 
@@ -140,14 +140,14 @@ fn compute_at_command_introduces_redundancy() {
     let a = f
         .computation(
             "a",
-            &[i.clone()],
+            std::slice::from_ref(&i),
             f.access(input, &[E::iter("i")]) + f.access(input, &[E::iter("i") + E::i64(1)]),
         )
         .unwrap();
     let b = f
         .computation(
             "b",
-            &[i.clone()],
+            std::slice::from_ref(&i),
             E::Access(a, vec![E::iter("i")]) * E::f32(2.0),
         )
         .unwrap();
@@ -163,8 +163,8 @@ fn compute_at_command_introduces_redundancy() {
     // N stores for b, >= N for a (each tile computes its whole slice).
     assert!(stats.stores >= 2 * N as u64);
     let out = machine.buffer(module.vm_buffer("b").unwrap()).to_vec();
-    for k in 0..N as usize {
-        assert_eq!(out[k], 2.0 * (k as f32 + (k + 1) as f32));
+    for (k, v) in out.iter().enumerate().take(N as usize) {
+        assert_eq!(*v, 2.0 * (k as f32 + (k + 1) as f32));
     }
 }
 
@@ -172,12 +172,12 @@ fn compute_at_command_introduces_redundancy() {
 fn inline_command() {
     let mut f = Function::new("t", &["N"]);
     let i = f.var("i", 0, E::param("N"));
-    let input = f.input("in", &[i.clone()]).unwrap();
+    let input = f.input("in", std::slice::from_ref(&i)).unwrap();
     let a = f
-        .computation("a", &[i.clone()], f.access(input, &[E::iter("i")]) + E::f32(5.0))
+        .computation("a", std::slice::from_ref(&i), f.access(input, &[E::iter("i")]) + E::f32(5.0))
         .unwrap();
     let b = f
-        .computation("b", &[i.clone()], E::Access(a, vec![E::iter("i")]) * E::f32(2.0))
+        .computation("b", std::slice::from_ref(&i), E::Access(a, vec![E::iter("i")]) * E::f32(2.0))
         .unwrap();
     f.inline(a).unwrap();
     let module = tiramisu::compile_cpu(&f, &[("N", N)], CpuOptions::default()).unwrap();
@@ -190,8 +190,8 @@ fn inline_command() {
     }
     machine.run(&module.program).unwrap();
     let out = machine.buffer(module.vm_buffer("b").unwrap()).to_vec();
-    for k in 0..N as usize {
-        assert_eq!(out[k], (k as f32 + 5.0) * 2.0);
+    for (k, v) in out.iter().enumerate().take(N as usize) {
+        assert_eq!(*v, (k as f32 + 5.0) * 2.0);
     }
     let _ = b;
 }
@@ -243,15 +243,15 @@ fn buffer_tagging_commands() {
     let mut f = Function::new("t", &["N"]);
     let i = f.var("i", 0, E::param("N"));
     let k = f.var("k", 0, 4);
-    let input = f.input("in", &[i.clone()]).unwrap();
-    let w = f.input("w", &[k.clone()]).unwrap();
+    let input = f.input("in", std::slice::from_ref(&i)).unwrap();
+    let w = f.input("w", std::slice::from_ref(&k)).unwrap();
     let wbuf = f.buffer("wc", &[E::i64(4)]);
     f.tag_buffer(wbuf, tiramisu::MemSpace::GpuConstant);
     f.store_in(w, wbuf, &[E::iter("k")]);
     let out = f
         .computation(
             "out",
-            &[i.clone()],
+            std::slice::from_ref(&i),
             f.access(input, &[E::iter("i")]) * f.access(w, &[E::i64(0)]),
         )
         .unwrap();
@@ -281,8 +281,8 @@ fn predicate_nonaffine_conditional() {
     }
     machine.run(&module.program).unwrap();
     let out = machine.buffer(module.vm_buffer("out").unwrap());
-    assert_eq!(out[(1 * N + 2) as usize], 2.0 * (N + 2) as f32); // even product
-    assert_eq!(out[(1 * N + 3) as usize], 0.0); // odd product: skipped
+    assert_eq!(out[(N + 2) as usize], 2.0 * (N + 2) as f32); // even product
+    assert_eq!(out[(N + 3) as usize], 0.0); // odd product: skipped
 }
 
 #[test]
@@ -292,7 +292,7 @@ fn distribute_send_receive_barrier_commands() {
     let r = f.var("r", 0, E::param("Nodes"));
     let input = f.input("data", &[f.var("i", 0, E::i64(8))]).unwrap();
     let c = f
-        .computation("c", &[r.clone()], f.access(input, &[E::i64(0)]) + E::f32(1.0))
+        .computation("c", std::slice::from_ref(&r), f.access(input, &[E::i64(0)]) + E::f32(1.0))
         .unwrap();
     f.distribute(c, "r").unwrap();
     let bar = f.barrier();

@@ -219,8 +219,8 @@ fn barrier_phases_order_cross_warp_communication() {
     k.barriers = vec![0]; // barrier between the two stores
     let mut bufs = vec![vec![0f32; 64], vec![0f32; 64]];
     gpusim::launch(&k, &mut bufs, &GpuModel::default()).unwrap();
-    for i in 0..64usize {
-        assert_eq!(bufs[1][i], (63 - i) as f32 + 1.0, "thread {i}");
+    for (i, v) in bufs[1].iter().enumerate() {
+        assert_eq!(*v, (63 - i) as f32 + 1.0, "thread {i}");
     }
 }
 

@@ -107,13 +107,13 @@ proptest! {
     #[test]
     fn execution_paths_agree(e in rexpr(), n in 3usize..40) {
         let serial = run_kind(&e, LoopKind::Serial, n);
-        for k in 0..n {
+        for (k, got) in serial.iter().enumerate() {
             let xv = (k as f32 * 0.5) - 3.0;
             let yv = 7.0 - k as f32;
             let expect = eval_ref(&e, xv, yv, k as i64);
             prop_assert!(
-                (serial[k] - expect).abs() < 1e-4 || (serial[k].is_nan() && expect.is_nan()),
-                "serial[{}] = {}, expected {}", k, serial[k], expect
+                (got - expect).abs() < 1e-4 || (got.is_nan() && expect.is_nan()),
+                "serial[{}] = {}, expected {}", k, got, expect
             );
         }
         prop_assert_eq!(&run_kind(&e, LoopKind::Parallel, n), &serial);
