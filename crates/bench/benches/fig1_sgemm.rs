@@ -24,6 +24,25 @@ fn bench(c: &mut Criterion) {
     }
     g.finish();
 
+    // Executor ablation on the best Tiramisu schedule: the optimizing
+    // register-bytecode path vs the reference tree-walk evaluator
+    // (numbers recorded in EXPERIMENTS.md). Bytecode is compiled once,
+    // outside the timed region, as `CpuModule` consumers do.
+    let mut g = c.benchmark_group("fig1_sgemm_execmode");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    let prep = kernels::sgemm::tiramisu_best(n, tile).unwrap();
+    let bc = loopvm::opt::compile_program(&prep.program).unwrap();
+    let mut machine = prep.machine();
+    g.bench_function("bytecode", |b| {
+        b.iter(|| machine.run_bytecode(&bc).unwrap());
+    });
+    g.bench_function("tree-walk", |b| {
+        b.iter(|| machine.run_tree_walk(&prep.program).unwrap());
+    });
+    g.finish();
+
     let mut g = c.benchmark_group("fig1_sgemm_gpu");
     g.sample_size(10);
     g.warm_up_time(std::time::Duration::from_millis(300));

@@ -49,6 +49,7 @@ pub struct CpuModule {
     /// The parameter bindings the module was compiled for.
     pub param_values: Vec<(String, i64)>,
     trace: Option<CompileTrace>,
+    bytecode: Option<loopvm::BcProgram>,
 }
 
 impl CpuModule {
@@ -66,6 +67,19 @@ impl CpuModule {
     /// The compile trace, when tracing was enabled.
     pub fn compile_trace(&self) -> Option<&CompileTrace> {
         self.trace.as_ref()
+    }
+
+    /// The register bytecode produced by the `optimize` pass. Run it with
+    /// [`loopvm::Machine::run_bytecode`] to amortize bytecode compilation
+    /// across runs ([`loopvm::Machine::run`] recompiles per call).
+    pub fn bytecode(&self) -> Option<&loopvm::BcProgram> {
+        self.bytecode.as_ref()
+    }
+
+    /// Disassembles the optimized bytecode (see `DESIGN.md` §10 for the
+    /// format).
+    pub fn disasm(&self) -> Option<String> {
+        self.bytecode.as_ref().map(|bc| bc.disasm(&self.program))
     }
 }
 
@@ -174,11 +188,25 @@ impl EmitTarget for CpuTarget {
             buffer_map: std::mem::take(&mut lm.buffer_map),
             param_values: lm.param_vals.iter().map(|(k, v)| (k.clone(), *v)).collect(),
             trace: None,
+            bytecode: None,
         })
     }
 
     fn module_stats(&self, module: &CpuModule) -> (usize, String) {
         (count_vm_stmts(&module.program.body), module.program.pretty())
+    }
+
+    fn optimize(&mut self, module: &mut CpuModule) -> Result<Option<(loopvm::OptStats, String)>> {
+        let bc = loopvm::opt::compile_program(&module.program)
+            .map_err(|e| Error::Backend(format!("bytecode optimization: {e}")))?;
+        let stats = bc.stats();
+        let ir = if pipeline::trace::disasm_enabled() {
+            bc.disasm(&module.program)
+        } else {
+            stats.summary()
+        };
+        module.bytecode = Some(bc);
+        Ok(Some((stats, ir)))
     }
 }
 

@@ -146,6 +146,38 @@ impl EmitTarget for DistTarget {
     fn module_stats(&self, module: &DistModule) -> (usize, String) {
         (layer4::count_dist_stmts(&module.dist.body), module.dist.pretty())
     }
+
+    // Analysis-only: `mpisim` runs compute chunks through the reference
+    // evaluator (its per-rank cost accounting is the model), so the
+    // bytecode compiled here only feeds the trace counters.
+    fn optimize(&mut self, module: &mut DistModule) -> Result<Option<(loopvm::OptStats, String)>> {
+        fn chunks<'a>(body: &'a [mpisim::DistStmt], out: &mut Vec<&'a [Stmt]>) {
+            for s in body {
+                match s {
+                    mpisim::DistStmt::Compute(stmts) => out.push(stmts),
+                    mpisim::DistStmt::If { body, .. } => chunks(body, out),
+                    _ => {}
+                }
+            }
+        }
+        let disasm = pipeline::trace::disasm_enabled();
+        let mut stats = loopvm::OptStats::default();
+        let mut ir = String::new();
+        let mut bodies: Vec<&[Stmt]> = vec![&module.dist.preamble];
+        chunks(&module.dist.body, &mut bodies);
+        for (k, body) in bodies.iter().enumerate() {
+            let bc = loopvm::opt::compile_body(&module.dist.program, body)
+                .map_err(|e| Error::Backend(format!("bytecode optimization (chunk {k}): {e}")))?;
+            stats.merge(&bc.stats());
+            if disasm {
+                ir.push_str(&format!("// chunk {k}\n{}", bc.disasm(&module.dist.program)));
+            }
+        }
+        if !disasm {
+            ir = stats.summary();
+        }
+        Ok(Some((stats, ir)))
+    }
 }
 
 #[cfg(test)]

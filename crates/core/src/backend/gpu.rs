@@ -233,6 +233,27 @@ impl EmitTarget for GpuTarget {
         }
         (nodes, out)
     }
+
+    // Analysis-only: the SIMT simulator executes kernel bodies through the
+    // reference evaluator (its divergence/coalescing model prices the tree
+    // walk), so the bytecode is compiled for its trace counters and dropped.
+    fn optimize(&mut self, module: &mut GpuModule) -> Result<Option<(loopvm::OptStats, String)>> {
+        let disasm = pipeline::trace::disasm_enabled();
+        let mut stats = loopvm::OptStats::default();
+        let mut ir = String::new();
+        for (k, ker) in module.kernels.iter().enumerate() {
+            let bc = loopvm::opt::compile_program(&ker.program)
+                .map_err(|e| Error::Backend(format!("bytecode optimization (kernel {k}): {e}")))?;
+            stats.merge(&bc.stats());
+            if disasm {
+                ir.push_str(&format!("// kernel {k}\n{}", bc.disasm(&ker.program)));
+            }
+        }
+        if !disasm {
+            ir = stats.summary();
+        }
+        Ok(Some((stats, ir)))
+    }
 }
 
 fn buffer_name_of(f: &Function, comp_idx: usize) -> &str {

@@ -219,6 +219,25 @@ pub trait EmitTarget {
     /// `(generated statement count, pretty-printed module)` for the
     /// compile trace's `emit` entry. Only called when tracing.
     fn module_stats(&self, module: &Self::Module) -> (usize, String);
+
+    /// The `optimize` pass: lowers the emitted module's expression trees
+    /// to register bytecode (see [`loopvm::opt`]). Returns
+    /// `Some((stats, ir))` when the target produced bytecode; `ir` is the
+    /// stats summary, or the full disassembly when the `TIRAMISU_DISASM`
+    /// environment variable is set (any non-empty value other than `0`).
+    ///
+    /// The CPU target stores the compiled bytecode in its module so
+    /// execution amortizes compilation; the GPU and distributed targets
+    /// run the optimizer analysis-only (their simulators execute through
+    /// the reference evaluator's cost accounting).
+    ///
+    /// # Errors
+    ///
+    /// Bytecode compilation failures (malformed emitted programs).
+    fn optimize(&mut self, module: &mut Self::Module) -> Result<Option<(loopvm::OptStats, String)>> {
+        let _ = module;
+        Ok(None)
+    }
 }
 
 /// Destination-buffer info of one computation.

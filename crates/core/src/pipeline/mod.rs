@@ -1,6 +1,6 @@
 //! The unified pass-based lowering pipeline.
 //!
-//! Every backend compiles through the same five passes:
+//! Every backend compiles through the same six passes:
 //!
 //! 1. **lower** — interleave Layer II schedules into the shared `2d+1`
 //!    time space and specialize parameters
@@ -14,7 +14,10 @@
 //!    hardware tag through the single [`crate::lowering::Lowered::tag_of_node`]
 //!    path, producing the backend-neutral [`LoopNode`] tree;
 //! 5. **emit** — bind buffers, declare variables, and hand the tree to
-//!    the backend's [`EmitTarget`] implementation.
+//!    the backend's [`EmitTarget`] implementation;
+//! 6. **optimize** — lower the emitted VM program's expression trees to
+//!    register bytecode (constant folding, CSE, loop-invariant hoisting;
+//!    see [`loopvm::opt`]) via [`EmitTarget::optimize`].
 //!
 //! [`compile_with`] drives the pipeline; the CPU, GPU, and distributed
 //! backends are thin [`EmitTarget`] impls over it, and a fourth backend
@@ -312,7 +315,12 @@ pub fn compile_with<T: EmitTarget>(
     let n_stmts = lowered.stmts.len();
     let mut lm = LoweredModule::new(f, lowered, state.param_vals.clone())?;
     let tree = std::mem::take(&mut state.tree);
-    let module = target.emit(&mut lm, &tree)?;
+    let mut module = target.emit(&mut lm, &tree)?;
     pm.record_step("emit", t0.elapsed(), n_stmts, || target.module_stats(&module));
+
+    let t0 = Instant::now();
+    if let Some((stats, ir)) = target.optimize(&mut module)? {
+        pm.record_step("optimize", t0.elapsed(), stats.tree_nodes, || (stats.insts, ir));
+    }
     Ok((module, pm.into_trace()))
 }

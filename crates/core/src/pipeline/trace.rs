@@ -30,10 +30,19 @@ pub(crate) fn enabled(opt: bool) -> bool {
     opt || std::env::var("TIRAMISU_TRACE").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
 }
 
+/// Whether the `optimize` pass records a full bytecode disassembly in its
+/// trace snapshot instead of the one-line stats summary. Off by default;
+/// enabled by the `TIRAMISU_DISASM` environment variable (any non-empty
+/// value other than `0`).
+pub(crate) fn disasm_enabled() -> bool {
+    std::env::var("TIRAMISU_DISASM").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+}
+
 /// One pipeline pass as observed by the trace.
 #[derive(Debug, Clone)]
 pub struct PassTrace {
-    /// Pass name (`lower`, `legality`, `astgen`, `tag-resolve`, `emit`).
+    /// Pass name (`lower`, `legality`, `astgen`, `tag-resolve`, `emit`,
+    /// `optimize`).
     pub name: &'static str,
     /// Wall-clock time spent in the pass.
     pub wall: Duration,

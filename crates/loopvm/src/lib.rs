@@ -45,15 +45,18 @@
 //! assert_eq!(m.buffer(out)[3], 6.0);
 //! ```
 
+pub mod bytecode;
 pub mod cost;
 pub mod expr;
+pub mod opt;
 pub mod program;
 pub mod vm;
 
+pub use bytecode::{BcProgram, OptStats};
 pub use cost::{CacheCfg, CacheSim, CostModel};
 pub use expr::{BinOp, Expr, Ty, UnOp, Var};
 pub use program::{BufId, LoopKind, Program, Stmt};
-pub use vm::{compile, eval_scalar, Code, Machine, Op, RunStats};
+pub use vm::{compile, eval_scalar, Code, ExecMode, Machine, Op, RunStats};
 
 /// Errors produced when compiling or executing a program.
 #[derive(Debug, Clone, PartialEq)]

@@ -12,6 +12,7 @@
 //!   lanes of [`LANES`] iterations at once, amortizing interpreter dispatch
 //!   the way SIMD amortizes instruction issue.
 
+use crate::bytecode::{BCode, BcProgram, BcStmt, Inst};
 use crate::cost::{CacheSim, CostModel};
 use crate::expr::{BinOp, Expr, Ty, UnOp};
 use crate::program::{BufId, LoopKind, Program, Stmt};
@@ -297,12 +298,26 @@ impl SharedBuf {
 // Machine
 // ---------------------------------------------------------------------------
 
+/// Which evaluator [`Machine::run`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// The optimized register bytecode ([`crate::opt`]): the default fast
+    /// path.
+    #[default]
+    Bytecode,
+    /// The original stack-walking evaluator: the reference semantics the
+    /// bytecode is differentially tested against. Also selectable
+    /// process-wide with the `LOOPVM_TREEWALK` environment variable.
+    TreeWalk,
+}
+
 /// An execution machine holding the buffer storage for a [`Program`].
 pub struct Machine {
     bufs: Vec<SharedBuf>,
     threads: usize,
     cost: CostModel,
     bases: Vec<u64>,
+    mode: ExecMode,
 }
 
 struct ExecCtx<'a> {
@@ -339,7 +354,13 @@ impl Machine {
             bases.push(next);
             next += ((*size as u64 * 4).div_ceil(64) + 1) * 64;
         }
-        Machine { bufs, threads: default_threads(), cost: CostModel::default(), bases }
+        Machine {
+            bufs,
+            threads: default_threads(),
+            cost: CostModel::default(),
+            bases,
+            mode: default_exec_mode(),
+        }
     }
 
     /// Sets the cost model used by [`Machine::run_with_stats`].
@@ -353,8 +374,31 @@ impl Machine {
     }
 
     /// Overrides the worker thread count used by parallel loops.
+    ///
+    /// A count of `0` is silently clamped to `1` (serial execution):
+    /// parallel loops always run with at least one worker, so
+    /// `set_threads(0)` and `set_threads(1)` are equivalent. The clamp is
+    /// pinned by a regression test.
     pub fn set_threads(&mut self, n: usize) {
         self.threads = n.max(1);
+    }
+
+    /// The worker thread count parallel loops will use (after clamping).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Selects the evaluator used by [`Machine::run`]. The stats-gathering
+    /// paths ([`Machine::run_with_stats`], [`Machine::run_body`]) always
+    /// use the tree-walk evaluator, whose cost accounting is the model's
+    /// reference.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.mode = mode;
+    }
+
+    /// The evaluator [`Machine::run`] currently uses.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.mode
     }
 
     /// Read access to a buffer's storage.
@@ -367,14 +411,58 @@ impl Machine {
         unsafe { &mut *self.bufs[b.index()].data.get() }
     }
 
-    /// Runs the program.
+    /// Runs the program with the configured evaluator (by default the
+    /// optimized register bytecode; see [`Machine::set_exec_mode`]).
     ///
     /// # Errors
     ///
     /// Type errors at bytecode compilation and out-of-bounds accesses at
     /// runtime.
     pub fn run(&mut self, p: &Program) -> Result<()> {
+        match self.mode {
+            ExecMode::Bytecode => {
+                let bc = crate::opt::compile_program(p)?;
+                self.run_bytecode(&bc)
+            }
+            ExecMode::TreeWalk => self.run_inner::<false>(p).map(|_| ()),
+        }
+    }
+
+    /// Runs the program with the reference tree-walk evaluator regardless
+    /// of the configured mode (differential baseline).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::run`].
+    pub fn run_tree_walk(&mut self, p: &Program) -> Result<()> {
         self.run_inner::<false>(p).map(|_| ())
+    }
+
+    /// Runs a precompiled bytecode program (see
+    /// [`crate::opt::compile_program`]); [`Machine::run`] compiles and
+    /// runs in one step, this entry point amortizes compilation across
+    /// runs.
+    ///
+    /// The program must have been compiled from the same [`Program`] this
+    /// machine was built for (buffer and variable spaces must match).
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds accesses at runtime.
+    pub fn run_bytecode(&mut self, bc: &BcProgram) -> Result<()> {
+        let mut ctx = BcCtx {
+            bufs: &self.bufs,
+            threads: self.threads,
+            frame: vec![0i64; bc.n_vars],
+            ir: vec![0i64; bc.n_iregs as usize],
+            fr: vec![0f32; bc.n_fregs as usize],
+            vir: vec![[0i64; LANES]; bc.n_iregs as usize],
+            vfr: vec![[0f32; LANES]; bc.n_fregs as usize],
+            vset: vec![false; bc.n_iregs as usize],
+            vfset: vec![false; bc.n_fregs as usize],
+        };
+        bc_run_insts(&bc.prologue, &mut ctx)?;
+        bc_exec_block(&bc.body, &mut ctx)
     }
 
     /// Runs the program, gathering [`RunStats`] (slower; for tests, cost
@@ -452,6 +540,13 @@ impl Machine {
 
 fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn default_exec_mode() -> ExecMode {
+    match std::env::var("LOOPVM_TREEWALK") {
+        Ok(v) if !v.is_empty() && v != "0" => ExecMode::TreeWalk,
+        _ => ExecMode::Bytecode,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1045,6 +1140,414 @@ pub fn eval_scalar(p: &Program, e: &Expr, bindings: &[(crate::expr::Var, i64)]) 
     Ok(istack.pop().unwrap())
 }
 
+// ---------------------------------------------------------------------------
+// Register-bytecode execution (the optimized fast path)
+// ---------------------------------------------------------------------------
+
+/// Execution context for the register bytecode: two scalar register
+/// files, a lane-vector shadow of each (used inside vectorized loops),
+/// and the variable frame.
+struct BcCtx<'a> {
+    bufs: &'a [SharedBuf],
+    threads: usize,
+    frame: Vec<i64>,
+    ir: Vec<i64>,
+    fr: Vec<f32>,
+    /// Lane-vector shadows: `vir[r]` is meaningful iff `vset[r]`.
+    vir: Vec<[i64; LANES]>,
+    vfr: Vec<[f32; LANES]>,
+    vset: Vec<bool>,
+    vfset: Vec<bool>,
+}
+
+fn bc_run_insts(insts: &[Inst], ctx: &mut BcCtx<'_>) -> Result<()> {
+    for inst in insts {
+        match *inst {
+            Inst::ConstI { dst, v } => ctx.ir[dst as usize] = v,
+            Inst::ConstF { dst, v } => ctx.fr[dst as usize] = v,
+            Inst::ReadVar { dst, var } => ctx.ir[dst as usize] = ctx.frame[var as usize],
+            Inst::Load { dst, buf, idx } => {
+                let i = ctx.ir[idx as usize];
+                ctx.fr[dst as usize] = ctx.bufs[buf as usize].get(i)?;
+            }
+            Inst::BinI { dst, op, a, b } => {
+                ctx.ir[dst as usize] = apply_i(op, ctx.ir[a as usize], ctx.ir[b as usize]);
+            }
+            Inst::BinF { dst, op, a, b } => {
+                ctx.fr[dst as usize] = apply_f(op, ctx.fr[a as usize], ctx.fr[b as usize]);
+            }
+            Inst::CmpI { dst, op, a, b } => {
+                ctx.ir[dst as usize] = cmp_i(op, ctx.ir[a as usize], ctx.ir[b as usize]);
+            }
+            Inst::CmpF { dst, op, a, b } => {
+                ctx.ir[dst as usize] = cmp_f(op, ctx.fr[a as usize], ctx.fr[b as usize]);
+            }
+            Inst::UnI { dst, op, a } => {
+                ctx.ir[dst as usize] = apply_un_i(op, ctx.ir[a as usize]);
+            }
+            Inst::UnF { dst, op, a } => {
+                ctx.fr[dst as usize] = apply_un_f(op, ctx.fr[a as usize]);
+            }
+            Inst::SelI { dst, c, a, b } => {
+                ctx.ir[dst as usize] = if ctx.ir[c as usize] != 0 {
+                    ctx.ir[a as usize]
+                } else {
+                    ctx.ir[b as usize]
+                };
+            }
+            Inst::SelF { dst, c, a, b } => {
+                ctx.fr[dst as usize] = if ctx.ir[c as usize] != 0 {
+                    ctx.fr[a as usize]
+                } else {
+                    ctx.fr[b as usize]
+                };
+            }
+            Inst::CastIF { dst, a } => ctx.fr[dst as usize] = ctx.ir[a as usize] as f32,
+            Inst::CastFI { dst, a } => ctx.ir[dst as usize] = ctx.fr[a as usize] as i64,
+        }
+    }
+    Ok(())
+}
+
+fn bc_exec_block(body: &[BcStmt], ctx: &mut BcCtx<'_>) -> Result<()> {
+    for s in body {
+        bc_exec_stmt(s, ctx)?;
+    }
+    Ok(())
+}
+
+fn bc_eval_bound(code: &BCode, ctx: &mut BcCtx<'_>) -> Result<i64> {
+    bc_run_insts(&code.insts, ctx)?;
+    Ok(ctx.ir[code.reg as usize])
+}
+
+fn bc_exec_stmt(s: &BcStmt, ctx: &mut BcCtx<'_>) -> Result<()> {
+    match s {
+        BcStmt::Let { code, var, reg } => {
+            bc_run_insts(code, ctx)?;
+            ctx.frame[*var as usize] = ctx.ir[*reg as usize];
+            Ok(())
+        }
+        BcStmt::Store { code, buf, idx, val } => {
+            bc_run_insts(code, ctx)?;
+            let i = ctx.ir[*idx as usize];
+            let v = ctx.fr[*val as usize];
+            ctx.bufs[*buf as usize].set(i, v)
+        }
+        BcStmt::If { code, cond, then, else_ } => {
+            bc_run_insts(code, ctx)?;
+            if ctx.ir[*cond as usize] != 0 {
+                bc_exec_block(then, ctx)
+            } else {
+                bc_exec_block(else_, ctx)
+            }
+        }
+        BcStmt::For { var, lower, upper, kind, preamble, body } => {
+            let lo = bc_eval_bound(lower, ctx)?;
+            let hi = bc_eval_bound(upper, ctx)?;
+            match kind {
+                LoopKind::Parallel if ctx.threads > 1 && hi - lo > 1 => {
+                    bc_exec_parallel(*var, lo, hi, preamble, body, ctx)
+                }
+                LoopKind::Vectorize(_) if bc_body_vectorizable(body) => {
+                    bc_exec_vector(*var, lo, hi, preamble, body, ctx)
+                }
+                _ => {
+                    for v in lo..hi {
+                        ctx.frame[*var as usize] = v;
+                        bc_run_insts(preamble, ctx)?;
+                        bc_exec_block(body, ctx)?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+fn bc_exec_parallel(
+    var: u32,
+    lo: i64,
+    hi: i64,
+    preamble: &[Inst],
+    body: &[BcStmt],
+    ctx: &mut BcCtx<'_>,
+) -> Result<()> {
+    let n = (hi - lo) as usize;
+    let workers = ctx.threads.min(n.max(1));
+    let chunk = n.div_ceil(workers);
+    let bufs = ctx.bufs;
+    // Workers snapshot the scalar state (registers computed in outer
+    // preambles / the prologue stay readable) and run their range with a
+    // private context; buffers are the only shared state, as in the
+    // tree-walk parallel path.
+    let frame_proto = &ctx.frame;
+    let ir_proto = &ctx.ir;
+    let fr_proto = &ctx.fr;
+    let results = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let start = lo + (w * chunk) as i64;
+            let end = (lo + ((w + 1) * chunk) as i64).min(hi);
+            if start >= end {
+                continue;
+            }
+            handles.push(scope.spawn(move |_| -> Result<()> {
+                let mut sub = BcCtx {
+                    bufs,
+                    // Nested parallel loops run serially inside a worker.
+                    threads: 1,
+                    frame: frame_proto.clone(),
+                    ir: ir_proto.clone(),
+                    fr: fr_proto.clone(),
+                    vir: vec![[0i64; LANES]; ir_proto.len()],
+                    vfr: vec![[0f32; LANES]; fr_proto.len()],
+                    vset: vec![false; ir_proto.len()],
+                    vfset: vec![false; fr_proto.len()],
+                };
+                for v in start..end {
+                    sub.frame[var as usize] = v;
+                    bc_run_insts(preamble, &mut sub)?;
+                    bc_exec_block(body, &mut sub)?;
+                }
+                Ok(())
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect::<Vec<_>>()
+    })
+    .expect("thread scope failed");
+    for r in results {
+        r?;
+    }
+    Ok(())
+}
+
+/// Mirror of [`body_vectorizable`] for the optimized format.
+fn bc_body_vectorizable(body: &[BcStmt]) -> bool {
+    body.iter().all(|s| matches!(s, BcStmt::Store { .. } | BcStmt::Let { .. }))
+}
+
+fn bc_exec_vector(
+    var: u32,
+    lo: i64,
+    hi: i64,
+    preamble: &[Inst],
+    body: &[BcStmt],
+    ctx: &mut BcCtx<'_>,
+) -> Result<()> {
+    let mut v = lo;
+    while v + (LANES as i64) <= hi {
+        bc_exec_vector_chunk(var, v, preamble, body, ctx)?;
+        v += LANES as i64;
+    }
+    // Scalar remainder (writes the frame, like the tree-walk remainder).
+    while v < hi {
+        ctx.frame[var as usize] = v;
+        bc_run_insts(preamble, ctx)?;
+        bc_exec_block(body, ctx)?;
+        v += 1;
+    }
+    Ok(())
+}
+
+/// Runs one lane group: the preamble and the flat store/let body evaluate
+/// lane-wise; registers written here are lane-vectors (`vset`), registers
+/// from outer scopes broadcast their scalar value. Like the tree-walk's
+/// overlay, lets do not write the scalar frame.
+fn bc_exec_vector_chunk(
+    var: u32,
+    base: i64,
+    preamble: &[Inst],
+    body: &[BcStmt],
+    ctx: &mut BcCtx<'_>,
+) -> Result<()> {
+    for f in ctx.vset.iter_mut() {
+        *f = false;
+    }
+    for f in ctx.vfset.iter_mut() {
+        *f = false;
+    }
+    bc_run_vector_insts(preamble, var, base, ctx)?;
+    for s in body {
+        match s {
+            BcStmt::Let { code, .. } => {
+                bc_run_vector_insts(code, var, base, ctx)?;
+                // Reads of the let variable resolve to its register at
+                // compile time; the scalar frame is left untouched.
+            }
+            BcStmt::Store { code, buf, idx, val } => {
+                bc_run_vector_insts(code, var, base, ctx)?;
+                let idxs = read_vi(ctx, *idx);
+                let vals = read_vf(ctx, *val);
+                let b = &ctx.bufs[*buf as usize];
+                for l in 0..LANES {
+                    b.set(idxs[l], vals[l])?;
+                }
+            }
+            _ => unreachable!("checked by bc_body_vectorizable"),
+        }
+    }
+    Ok(())
+}
+
+fn read_vi(ctx: &BcCtx<'_>, r: u16) -> [i64; LANES] {
+    if ctx.vset[r as usize] {
+        ctx.vir[r as usize]
+    } else {
+        [ctx.ir[r as usize]; LANES]
+    }
+}
+
+fn read_vf(ctx: &BcCtx<'_>, r: u16) -> [f32; LANES] {
+    if ctx.vfset[r as usize] {
+        ctx.vfr[r as usize]
+    } else {
+        [ctx.fr[r as usize]; LANES]
+    }
+}
+
+fn bc_run_vector_insts(
+    insts: &[Inst],
+    loop_var: u32,
+    base: i64,
+    ctx: &mut BcCtx<'_>,
+) -> Result<()> {
+    for inst in insts {
+        match *inst {
+            Inst::ConstI { dst, v } => {
+                ctx.vir[dst as usize] = [v; LANES];
+                ctx.vset[dst as usize] = true;
+            }
+            Inst::ConstF { dst, v } => {
+                ctx.vfr[dst as usize] = [v; LANES];
+                ctx.vfset[dst as usize] = true;
+            }
+            Inst::ReadVar { dst, var } => {
+                let out = if var == loop_var {
+                    let mut lanes = [0i64; LANES];
+                    for (l, lane) in lanes.iter_mut().enumerate() {
+                        *lane = base + l as i64;
+                    }
+                    lanes
+                } else {
+                    [ctx.frame[var as usize]; LANES]
+                };
+                ctx.vir[dst as usize] = out;
+                ctx.vset[dst as usize] = true;
+            }
+            Inst::Load { dst, buf, idx } => {
+                let idxs = read_vi(ctx, idx);
+                let mut out = [0f32; LANES];
+                let b = &ctx.bufs[buf as usize];
+                for l in 0..LANES {
+                    out[l] = b.get(idxs[l])?;
+                }
+                ctx.vfr[dst as usize] = out;
+                ctx.vfset[dst as usize] = true;
+            }
+            Inst::BinI { dst, op, a, b } => {
+                let x = read_vi(ctx, a);
+                let y = read_vi(ctx, b);
+                let mut out = [0i64; LANES];
+                for l in 0..LANES {
+                    out[l] = apply_i(op, x[l], y[l]);
+                }
+                ctx.vir[dst as usize] = out;
+                ctx.vset[dst as usize] = true;
+            }
+            Inst::BinF { dst, op, a, b } => {
+                let x = read_vf(ctx, a);
+                let y = read_vf(ctx, b);
+                let mut out = [0f32; LANES];
+                for l in 0..LANES {
+                    out[l] = apply_f(op, x[l], y[l]);
+                }
+                ctx.vfr[dst as usize] = out;
+                ctx.vfset[dst as usize] = true;
+            }
+            Inst::CmpI { dst, op, a, b } => {
+                let x = read_vi(ctx, a);
+                let y = read_vi(ctx, b);
+                let mut out = [0i64; LANES];
+                for l in 0..LANES {
+                    out[l] = cmp_i(op, x[l], y[l]);
+                }
+                ctx.vir[dst as usize] = out;
+                ctx.vset[dst as usize] = true;
+            }
+            Inst::CmpF { dst, op, a, b } => {
+                let x = read_vf(ctx, a);
+                let y = read_vf(ctx, b);
+                let mut out = [0i64; LANES];
+                for l in 0..LANES {
+                    out[l] = cmp_f(op, x[l], y[l]);
+                }
+                ctx.vir[dst as usize] = out;
+                ctx.vset[dst as usize] = true;
+            }
+            Inst::UnI { dst, op, a } => {
+                let x = read_vi(ctx, a);
+                let mut out = [0i64; LANES];
+                for l in 0..LANES {
+                    out[l] = apply_un_i(op, x[l]);
+                }
+                ctx.vir[dst as usize] = out;
+                ctx.vset[dst as usize] = true;
+            }
+            Inst::UnF { dst, op, a } => {
+                let x = read_vf(ctx, a);
+                let mut out = [0f32; LANES];
+                for l in 0..LANES {
+                    out[l] = apply_un_f(op, x[l]);
+                }
+                ctx.vfr[dst as usize] = out;
+                ctx.vfset[dst as usize] = true;
+            }
+            Inst::SelI { dst, c, a, b } => {
+                let cs = read_vi(ctx, c);
+                let x = read_vi(ctx, a);
+                let y = read_vi(ctx, b);
+                let mut out = [0i64; LANES];
+                for l in 0..LANES {
+                    out[l] = if cs[l] != 0 { x[l] } else { y[l] };
+                }
+                ctx.vir[dst as usize] = out;
+                ctx.vset[dst as usize] = true;
+            }
+            Inst::SelF { dst, c, a, b } => {
+                let cs = read_vi(ctx, c);
+                let x = read_vf(ctx, a);
+                let y = read_vf(ctx, b);
+                let mut out = [0f32; LANES];
+                for l in 0..LANES {
+                    out[l] = if cs[l] != 0 { x[l] } else { y[l] };
+                }
+                ctx.vfr[dst as usize] = out;
+                ctx.vfset[dst as usize] = true;
+            }
+            Inst::CastIF { dst, a } => {
+                let x = read_vi(ctx, a);
+                let mut out = [0f32; LANES];
+                for l in 0..LANES {
+                    out[l] = x[l] as f32;
+                }
+                ctx.vfr[dst as usize] = out;
+                ctx.vfset[dst as usize] = true;
+            }
+            Inst::CastFI { dst, a } => {
+                let x = read_vf(ctx, a);
+                let mut out = [0i64; LANES];
+                for l in 0..LANES {
+                    out[l] = x[l] as i64;
+                }
+                ctx.vir[dst as usize] = out;
+                ctx.vset[dst as usize] = true;
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Modeled cost of a vector memory operation: lane addresses go through
 /// the cache; contiguous lanes amortize to one dispatch, gathers pay the
 /// model's gather penalty.
@@ -1266,6 +1769,47 @@ mod tests {
         m.run(&p).unwrap();
         let total: f32 = m.buffer(a).iter().sum();
         assert_eq!(total, 10.0); // 1 + 2 + 3 + 4
+    }
+
+    #[test]
+    fn set_threads_zero_clamps_to_one() {
+        let (p, _, _) = saxpy_program(LoopKind::Parallel, 8);
+        let mut m = Machine::new(&p);
+        m.set_threads(0);
+        assert_eq!(m.threads(), 1, "set_threads(0) must clamp to serial execution");
+        // A clamped machine still runs parallel loops (serially).
+        m.run(&p).unwrap();
+        m.set_threads(5);
+        assert_eq!(m.threads(), 5);
+    }
+
+    #[test]
+    fn parallel_results_identical_across_thread_counts() {
+        let run_with = |threads: usize, mode: ExecMode| {
+            let n = 97; // prime, so no thread count divides the range evenly
+            let (p, x, y) = saxpy_program(LoopKind::Parallel, n);
+            let mut m = Machine::new(&p);
+            m.set_threads(threads);
+            m.set_exec_mode(mode);
+            for (k, v) in m.buffer_mut(x).iter_mut().enumerate() {
+                *v = (k as f32).sin();
+            }
+            for (k, v) in m.buffer_mut(y).iter_mut().enumerate() {
+                *v = 0.25 * k as f32;
+            }
+            m.run(&p).unwrap();
+            m.buffer(y).to_vec()
+        };
+        let reference = run_with(1, ExecMode::TreeWalk);
+        for threads in [1, 2, 7] {
+            for mode in [ExecMode::TreeWalk, ExecMode::Bytecode] {
+                assert_eq!(
+                    run_with(threads, mode),
+                    reference,
+                    "{threads} threads / {mode:?} diverged"
+                );
+            }
+        }
     }
 
     #[test]

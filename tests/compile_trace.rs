@@ -67,7 +67,7 @@ fn gemm() -> Function {
     f
 }
 
-const PASSES: [&str; 5] = ["lower", "legality", "astgen", "tag-resolve", "emit"];
+const PASSES: [&str; 6] = ["lower", "legality", "astgen", "tag-resolve", "emit", "optimize"];
 
 #[test]
 fn trace_records_passes_in_pipeline_order() {
@@ -108,7 +108,7 @@ fn every_pass_reports_nonzero_counts_on_nontrivial_kernel() {
 }
 
 #[test]
-fn gemm_trace_reports_five_timed_passes() {
+fn gemm_trace_reports_six_timed_passes() {
     let f = gemm();
     let module = compile_cpu(
         &f,
@@ -119,7 +119,7 @@ fn gemm_trace_reports_five_timed_passes() {
     let trace = module.compile_trace().unwrap();
     let mut names: Vec<_> = trace.pass_names();
     names.dedup();
-    assert!(names.len() >= 5, "expected >=5 distinct passes, got {names:?}");
+    assert!(names.len() >= 6, "expected >=6 distinct passes, got {names:?}");
     let report = trace.report();
     for p in PASSES {
         assert!(report.contains(p), "report lacks pass {p}:\n{report}");
@@ -169,6 +169,52 @@ fn gpu_and_dist_modules_carry_traces_too() {
     let trace = module.compile_trace().unwrap();
     assert_eq!(trace.pass_names(), PASSES);
     assert_eq!(trace.target, "dist");
+}
+
+#[test]
+fn optimize_pass_runs_last_and_reports_instruction_counts() {
+    let f = blur2();
+    let module = compile_cpu(
+        &f,
+        &[("N", 8)],
+        CpuOptions { trace: true, ..Default::default() },
+    )
+    .unwrap();
+    let trace = module.compile_trace().unwrap();
+    let opt = trace.passes.last().unwrap();
+    assert_eq!(opt.name, "optimize");
+    // The stmts column carries source expression-tree nodes, the nodes
+    // column the emitted instruction count; folding/CSE/hoisting must
+    // leave strictly less work than the tree walk performed.
+    assert!(opt.stmts > 0 && opt.nodes > 0);
+    assert!(
+        opt.nodes < opt.stmts,
+        "bytecode ({} insts) not smaller than the tree ({} nodes)",
+        opt.nodes,
+        opt.stmts
+    );
+    let bc = module.bytecode().expect("CPU modules carry optimized bytecode");
+    assert_eq!(bc.n_insts(), opt.nodes);
+    assert_eq!(bc.stats().tree_nodes, opt.stmts);
+}
+
+#[test]
+fn disassembly_is_off_by_default_and_env_gated() {
+    let _guard = TRACE_COUNTER.lock().unwrap();
+    std::env::remove_var("TIRAMISU_DISASM");
+    let f = blur2();
+    let opts = || CpuOptions { trace: true, ..Default::default() };
+    let module = compile_cpu(&f, &[("N", 8)], opts()).unwrap();
+    let summary = &module.compile_trace().unwrap().passes.last().unwrap().ir;
+    assert!(summary.contains("tree nodes ->"), "{summary}");
+    assert!(!summary.contains("store"), "default snapshot leaks disassembly:\n{summary}");
+
+    std::env::set_var("TIRAMISU_DISASM", "1");
+    let module = compile_cpu(&f, &[("N", 8)], opts()).unwrap();
+    std::env::remove_var("TIRAMISU_DISASM");
+    let dis = &module.compile_trace().unwrap().passes.last().unwrap().ir;
+    assert!(dis.contains("store"), "TIRAMISU_DISASM=1 snapshot has no stores:\n{dis}");
+    assert_eq!(dis, &module.disasm().unwrap());
 }
 
 #[test]

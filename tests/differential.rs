@@ -1,0 +1,322 @@
+//! Cross-backend differential test harness.
+//!
+//! Random small Layer-I algorithms (one- or two-stage stencils over a
+//! padded input) are combined with random *legal* schedule-command
+//! sequences, then compiled and executed every way the repo can:
+//!
+//! - CPU bytecode (the optimizing register-VM path, `Machine::run`),
+//! - CPU tree-walk (the reference evaluator, `Machine::run_tree_walk`),
+//! - the GPU backend (`tile_gpu` + SIMT simulator),
+//! - the distributed backend (`split` + `distribute` over 2 ranks).
+//!
+//! All paths must produce **bit-identical** buffers. Deliberately illegal
+//! schedules (consumer ordered before its producer) must be rejected at
+//! compile time, never miscompiled into a runnable module.
+//!
+//! The vendored proptest stub is deterministic (seeded per test name), so
+//! CI runs a fixed sequence; `TIRAMISU_DIFF_CASES` overrides the case
+//! count (e.g. to shrink the suite under a tight timeout).
+
+use mpisim::{CommModel, RunOptions};
+use proptest::prelude::*;
+use std::sync::Mutex;
+use tiramisu::{
+    compile_cpu, compile_dist, compile_gpu, At, CompId, CpuOptions, DistOptions, Expr as E,
+    Function, GpuOptions,
+};
+
+const N: i64 = 8; // stage-1 rows
+const M: i64 = 8; // columns
+const RANKS: usize = 2;
+
+fn diff_cases() -> u32 {
+    std::env::var("TIRAMISU_DIFF_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+/// Deterministic pseudo-random fill (same as `tests/pipeline_golden.rs`),
+/// identical on every backend and rank.
+fn fill(buf: &mut [f32], seed: u64) {
+    for (k, v) in buf.iter_mut().enumerate() {
+        let x = (k as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+        *v = ((x >> 33) % 1009) as f32 / 16.0;
+    }
+}
+
+// ------------------------------------------------ random Layer-I algebra --
+
+#[derive(Debug, Clone, Copy)]
+enum FOp {
+    Add,
+    Sub,
+    Mul,
+    Min,
+    Max,
+}
+
+fn fop() -> impl Strategy<Value = FOp> {
+    prop_oneof![Just(FOp::Add), Just(FOp::Sub), Just(FOp::Mul), Just(FOp::Min), Just(FOp::Max)]
+}
+
+fn combine(op: FOp, a: E, b: E) -> E {
+    match op {
+        FOp::Add => a + b,
+        FOp::Sub => a - b,
+        FOp::Mul => a * b,
+        FOp::Min => E::min(a, b),
+        FOp::Max => E::max(a, b),
+    }
+}
+
+/// A random one- or two-stage stencil. Stage 1 (`bx`) combines three
+/// in-bounds taps of the padded input; stage 2 (`by`, optional) combines
+/// three row-taps of `bx` over a 2-row-smaller domain, creating a
+/// bx -> by flow dependence the legality checker must respect.
+#[derive(Debug, Clone)]
+struct RAlg {
+    taps: [(i64, i64); 3], // (di, dj) in 0..=2: always inside the padding
+    ops1: [FOp; 2],
+    scale: i8,
+    stage2: Option<[FOp; 2]>,
+}
+
+fn ralg() -> impl Strategy<Value = RAlg> {
+    (
+        [(0i64..=2, 0i64..=2), (0i64..=2, 0i64..=2), (0i64..=2, 0i64..=2)],
+        [fop(), fop()],
+        any::<i8>(),
+        proptest::option::of([fop(), fop()]),
+    )
+        .prop_map(|(taps, ops1, scale, stage2)| RAlg { taps, ops1, scale, stage2 })
+}
+
+/// A random schedule-command sequence for one computation, shaped so
+/// every generated sequence is legal (the commands never reorder the
+/// two stages against their dependence).
+#[derive(Debug, Clone)]
+struct RSched {
+    tile: Option<(i64, i64)>,
+    interchange: bool,
+    shift: i8,
+    par: bool,
+    inner: u8, // 0 = plain, 1 = vectorize(4), 2 = unroll(2)
+}
+
+fn rsched() -> impl Strategy<Value = RSched> {
+    (
+        proptest::option::of((2i64..=4, 2i64..=4)),
+        any::<bool>(),
+        -2i8..=2,
+        any::<bool>(),
+        0u8..=2,
+    )
+        .prop_map(|(tile, interchange, shift, par, inner)| RSched {
+            tile,
+            interchange,
+            shift,
+            par,
+            inner,
+        })
+}
+
+fn apply_sched(f: &mut Function, c: CompId, s: &RSched) {
+    if let Some((t1, t2)) = s.tile {
+        f.tile(c, "i", "j", t1, t2, ("i0", "j0", "i1", "j1")).unwrap();
+        if s.interchange {
+            f.interchange(c, "i0", "j0").unwrap();
+        }
+        if s.shift != 0 {
+            f.shift(c, "i1", s.shift as i64).unwrap();
+        }
+        match s.inner {
+            1 => drop(f.vectorize(c, "j1", 4).unwrap()),
+            2 => drop(f.unroll(c, "j1", 2).unwrap()),
+            _ => {}
+        }
+        if s.par {
+            f.parallelize(c, "i0").unwrap();
+        }
+    } else {
+        if s.interchange {
+            f.interchange(c, "i", "j").unwrap();
+        }
+        if s.shift != 0 {
+            f.shift(c, "i", s.shift as i64).unwrap();
+        }
+        match s.inner {
+            1 => drop(f.vectorize(c, "j", 4).unwrap()),
+            2 => drop(f.unroll(c, "j", 2).unwrap()),
+            _ => {}
+        }
+        if s.par {
+            f.parallelize(c, "i").unwrap();
+        }
+    }
+}
+
+/// Builds the Layer-I function. Returns `(f, bx, by)`; `by` is `None`
+/// for single-stage algorithms.
+fn build(alg: &RAlg) -> (Function, CompId, Option<CompId>) {
+    let mut f = Function::new("diff", &["N", "M"]);
+    let i = f.var("i", 0, E::param("N"));
+    let j = f.var("j", 0, E::param("M"));
+    let input = f
+        .input(
+            "in",
+            &[
+                f.var("i", 0, E::param("N") + E::i64(2)),
+                f.var("j", 0, E::param("M") + E::i64(2)),
+            ],
+        )
+        .unwrap();
+    let tap = |k: usize, alg: &RAlg| {
+        E::Access(
+            input,
+            vec![
+                E::iter("i") + E::i64(alg.taps[k].0),
+                E::iter("j") + E::i64(alg.taps[k].1),
+            ],
+        )
+    };
+    let e1 = combine(
+        alg.ops1[1],
+        combine(alg.ops1[0], tap(0, alg), tap(1, alg)),
+        tap(2, alg) * E::f32(alg.scale as f32 / 8.0),
+    );
+    let bx = f.computation("bx", &[i, j.clone()], e1).unwrap();
+    let bxb = f.buffer("bxb", &[E::param("N"), E::param("M")]);
+    f.store_in(bx, bxb, &[E::iter("i"), E::iter("j")]);
+    let by = alg.stage2.map(|ops2| {
+        let bxa = |d: i64| E::Access(bx, vec![E::iter("i") + E::i64(d), E::iter("j")]);
+        let i2 = f.var("i", 0, E::param("N") - E::i64(2));
+        let e2 = combine(ops2[1], combine(ops2[0], bxa(0), bxa(1)), bxa(2));
+        f.computation("by", &[i2, j], e2).unwrap()
+    });
+    (f, bx, by)
+}
+
+/// Runs the CPU module in one execution mode, returning every buffer's
+/// bit pattern.
+fn run_cpu(module: &tiramisu::CpuModule, tree_walk: bool) -> Vec<Vec<u32>> {
+    let mut m = module.machine();
+    m.set_threads(2);
+    if tree_walk {
+        m.set_exec_mode(loopvm::ExecMode::TreeWalk);
+    }
+    fill(m.buffer_mut(module.vm_buffer("in").unwrap()), 7);
+    m.run(&module.program).unwrap();
+    (0..module.program.n_buffers())
+        .map(|b| {
+            m.buffer(module.program.nth_buffer(b)).iter().map(|v| v.to_bits()).collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(diff_cases()))]
+
+    /// The full differential: evaluators agree bit-for-bit, backends
+    /// agree bit-for-bit, illegal orderings are rejected.
+    #[test]
+    fn random_programs_agree_everywhere(
+        alg in ralg(),
+        sched1 in rsched(),
+        sched2 in rsched(),
+        illegal_order in any::<bool>(),
+    ) {
+        // --- illegal schedules must be rejected, not miscompiled -------
+        if illegal_order && alg.stage2.is_some() {
+            let (mut f, bx, by) = build(&alg);
+            // Order the producer *after* its consumer: bx -> by flow
+            // dependence now points backwards in time.
+            f.after(bx, by.unwrap(), At::Root).unwrap();
+            let r = compile_cpu(&f, &[("N", N), ("M", M)], CpuOptions::default());
+            prop_assert!(
+                r.is_err(),
+                "consumer-before-producer schedule was accepted: {alg:?}"
+            );
+            return Ok(());
+        }
+
+        // --- CPU: scheduled, bytecode vs tree-walk ---------------------
+        let (mut f, bx, by) = build(&alg);
+        apply_sched(&mut f, bx, &sched1);
+        if let Some(by) = by {
+            apply_sched(&mut f, by, &sched2);
+        }
+        let module = compile_cpu(&f, &[("N", N), ("M", M)], CpuOptions::default()).unwrap();
+        let fast = run_cpu(&module, false);
+        let reference = run_cpu(&module, true);
+        prop_assert_eq!(&fast, &reference, "bytecode vs tree-walk: {:?}", &alg);
+
+        // The unscheduled program must compute the same values (schedule
+        // commands are semantics-preserving by construction).
+        let (f0, _, _) = build(&alg);
+        let module0 = compile_cpu(&f0, &[("N", N), ("M", M)], CpuOptions::default()).unwrap();
+        let unscheduled = run_cpu(&module0, false);
+        let out_name = if alg.stage2.is_some() { "by" } else { "bxb" };
+        let out_idx = |m: &tiramisu::CpuModule| m.vm_buffer(out_name).unwrap().index();
+        prop_assert_eq!(
+            &fast[out_idx(&module)],
+            &unscheduled[out_idx(&module0)],
+            "schedule changed values: {:?} / {:?} {:?}", &alg, &sched1, &sched2
+        );
+        let cpu_out = &fast[out_idx(&module)];
+
+        // --- GPU backend ----------------------------------------------
+        let (mut fg, bxg, byg) = build(&alg);
+        fg.tile_gpu(bxg, "i", "j", 4, 4).unwrap();
+        if let Some(byg) = byg {
+            fg.tile_gpu(byg, "i", "j", 4, 4).unwrap();
+        }
+        let gm = compile_gpu(&fg, &[("N", N), ("M", M)], GpuOptions::default()).unwrap();
+        let mut bufs = gm.alloc_buffers();
+        fill(&mut bufs[gm.buffer_index("in").unwrap()], 7);
+        gm.run(&mut bufs, &gpusim::GpuModel::default()).unwrap();
+        let gpu_out: Vec<u32> =
+            bufs[gm.buffer_index(out_name).unwrap()].iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(cpu_out, &gpu_out, "CPU vs GPU: {:?}", &alg);
+
+        // --- distributed backend --------------------------------------
+        // Distribute the final stage's rows over 2 ranks; earlier stages
+        // are computed redundantly per rank, so no communication is
+        // needed and every rank's owned rows must match the CPU result.
+        let (mut fd, bxd, byd) = build(&alg);
+        let (dist_comp, rows) = match byd {
+            Some(byd) => (byd, N - 2),
+            None => (bxd, N),
+        };
+        let chunk = rows / RANKS as i64;
+        fd.split(dist_comp, "i", chunk, "i0", "i1").unwrap();
+        fd.distribute(dist_comp, "i0").unwrap();
+        let dm = compile_dist(&fd, &[("N", N), ("M", M)], DistOptions::default()).unwrap();
+        let out_buf = dm.vm_buffer(out_name).unwrap();
+        let row_len = M as usize;
+        let gathered = Mutex::new(vec![0u32; (chunk as usize) * RANKS * row_len]);
+        mpisim::run_with_opts(
+            &dm.dist,
+            RANKS,
+            &CommModel::default(),
+            &RunOptions::default(),
+            |_rank, machine| {
+                fill(machine.buffer_mut(dm.vm_buffer("in").unwrap()), 7);
+            },
+            |rank, machine| {
+                let vals = machine.buffer(out_buf);
+                let lo = rank * chunk as usize * row_len;
+                let n = chunk as usize * row_len;
+                let bits: Vec<u32> = vals[lo..lo + n].iter().map(|v| v.to_bits()).collect();
+                gathered.lock().unwrap()[lo..lo + n].copy_from_slice(&bits);
+            },
+        )
+        .unwrap();
+        let dist_out = gathered.into_inner().unwrap();
+        prop_assert_eq!(
+            &cpu_out[..dist_out.len()],
+            &dist_out[..],
+            "CPU vs dist: {:?}", &alg
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Golden tests for the bytecode optimizer: the disassembly emitted for
+//! the gemm and blur kernels is pinned under `tests/golden/`, so any
+//! change to constant folding, CSE, hoisting, or register allocation
+//! shows up as a readable diff rather than a silent perf/semantics shift.
+//!
+//! Regenerate with `TIRAMISU_BLESS=1 cargo test --test opt_golden`.
+
+use tiramisu::{compile_cpu, CompId, CpuOptions, Expr as E, Function};
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"))
+}
+
+fn assert_golden(name: &str, text: &str) {
+    let path = golden_path(name);
+    if std::env::var("TIRAMISU_BLESS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, text).unwrap();
+        return;
+    }
+    let expect = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        text,
+        expect,
+        "bytecode disassembly for `{name}` drifted from the golden snapshot \
+         (re-bless with TIRAMISU_BLESS=1 only if the change is intentional)"
+    );
+}
+
+/// The golden-test gemm shape: C = A*B + Cin with the k-reduction
+/// contracted into C (same Layer I as `tests/pipeline_golden.rs`).
+fn gemm() -> Function {
+    let mut f = Function::new("gemm", &["N"]);
+    let i = f.var("i", 0, E::param("N"));
+    let j = f.var("j", 0, E::param("N"));
+    let k = f.var("k", 0, E::param("N"));
+    let a = f.input("A", &[i.clone(), j.clone()]).unwrap();
+    let b = f.input("B", &[i.clone(), j.clone()]).unwrap();
+    let c_in = f.input("Cin", &[i.clone(), j.clone()]).unwrap();
+    let c_buf = f.buffer("C", &[E::param("N"), E::param("N")]);
+    let c_init = f
+        .computation(
+            "c_init",
+            &[i.clone(), j.clone()],
+            f.access(c_in, &[E::iter("i"), E::iter("j")]),
+        )
+        .unwrap();
+    let self_id = CompId::from_raw(4);
+    let upd = E::Access(
+        self_id,
+        vec![E::iter("i"), E::iter("j"), E::iter("k") - E::i64(1)],
+    ) + f.access(a, &[E::iter("i"), E::iter("k")])
+        * f.access(b, &[E::iter("k"), E::iter("j")]);
+    let c_upd = f.computation("c_upd", &[i, j, k], upd).unwrap();
+    assert_eq!(c_upd, self_id);
+    f.store_in(c_init, c_buf, &[E::iter("i"), E::iter("j")]);
+    f.store_in(c_upd, c_buf, &[E::iter("i"), E::iter("j")]);
+    f
+}
+
+/// The paper's Figure 2 blur (same Layer I as `tests/pipeline_golden.rs`).
+fn blur() -> Function {
+    let mut f = Function::new("blur", &["N", "M"]);
+    let i = f.var("i", 0, E::param("N") - E::i64(2));
+    let j = f.var("j", 0, E::param("M") - E::i64(2));
+    let input = f
+        .input(
+            "in",
+            &[f.var("i", 0, E::param("N")), f.var("j", 0, E::param("M"))],
+        )
+        .unwrap();
+    let at = |di: i64, dj: i64| {
+        E::Access(
+            input,
+            vec![E::iter("i") + E::i64(di), E::iter("j") + E::i64(dj)],
+        )
+    };
+    let bx = f
+        .computation(
+            "bx",
+            &[i, j.clone()],
+            (at(0, 0) + at(0, 1) + at(0, 2)) / E::f32(3.0),
+        )
+        .unwrap();
+    let bxa = |di: i64| E::Access(bx, vec![E::iter("i") + E::i64(di), E::iter("j")]);
+    let i_by = f.var("i", 0, E::param("N") - E::i64(4));
+    let _by = f
+        .computation("by", &[i_by, j], (bxa(0) + bxa(1) + bxa(2)) / E::f32(3.0))
+        .unwrap();
+    f
+}
+
+#[test]
+fn gemm_bytecode_disassembly_is_pinned() {
+    let f = gemm();
+    let module = compile_cpu(
+        &f,
+        &[("N", 8)],
+        CpuOptions { check_legality: false, ..Default::default() },
+    )
+    .unwrap();
+    let bc = module.bytecode().expect("CPU modules carry optimized bytecode");
+    assert_golden("gemm_bytecode", &bc.disasm(&module.program));
+    // The contraction's address math is loop-structured, so the
+    // optimizer must find invariant subexpressions to hoist and shared
+    // subexpressions to deduplicate — not just translate the tree.
+    let stats = bc.stats();
+    assert!(stats.hoisted > 0, "gemm hoisted nothing: {}", stats.summary());
+    assert!(stats.cse_hits > 0, "gemm found no CSE: {}", stats.summary());
+    assert!(stats.insts < stats.tree_nodes, "no shrink: {}", stats.summary());
+}
+
+#[test]
+fn blur_bytecode_disassembly_is_pinned() {
+    let f = blur();
+    let module =
+        compile_cpu(&f, &[("N", 10), ("M", 12)], CpuOptions::default()).unwrap();
+    let bc = module.bytecode().expect("CPU modules carry optimized bytecode");
+    assert_golden("blur_bytecode", &bc.disasm(&module.program));
+    let stats = bc.stats();
+    assert!(stats.hoisted > 0, "blur hoisted nothing: {}", stats.summary());
+    assert!(stats.folded > 0, "blur folded nothing: {}", stats.summary());
+}
+
+/// The disassembly itself must stay faithful: running the pinned bytecode
+/// produces the same values as the reference tree-walk.
+#[test]
+fn pinned_kernels_execute_identically_in_both_modes() {
+    for (f, params) in [(gemm(), vec![("N", 8)]), (blur(), vec![("N", 10), ("M", 12)])] {
+        let module = compile_cpu(
+            &f,
+            &params,
+            CpuOptions { check_legality: false, ..Default::default() },
+        )
+        .unwrap();
+        let run = |tree_walk: bool| {
+            let mut m = module.machine();
+            if tree_walk {
+                m.set_exec_mode(loopvm::ExecMode::TreeWalk);
+            }
+            for b in 0..module.program.n_buffers() {
+                let id = module.program.nth_buffer(b);
+                for (k, v) in m.buffer_mut(id).iter_mut().enumerate() {
+                    *v = ((k * 31 + b * 7) % 113) as f32 / 8.0;
+                }
+            }
+            m.run(&module.program).unwrap();
+            let out = module.program.nth_buffer(module.program.n_buffers() - 1);
+            m.buffer(out).iter().map(|v| v.to_bits()).collect::<Vec<u32>>()
+        };
+        assert_eq!(run(false), run(true), "{} diverged", f.name);
+    }
+}

@@ -154,6 +154,228 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Optimizer equivalence: eval(optimize(e)) == eval(e)
+//
+// `Machine::run` lowers through `loopvm::opt` (constant folding, CSE,
+// hoisting); `Machine::run_tree_walk` is the unoptimized reference. The
+// two must agree bit-for-bit on arbitrary well-typed expressions,
+// including the value edges where folding is easiest to get wrong.
+// ---------------------------------------------------------------------------
+
+/// A random well-typed i64 expression over the loop variable `i`.
+/// Divisions are kept trap-free by construction: constant divisors are
+/// drawn from a nonzero set without `-1` (so `i64::MIN / -1` cannot
+/// occur), and expression divisors are wrapped in `max(d, 1)`.
+#[derive(Debug, Clone)]
+enum IExpr {
+    I,
+    Const(i64),
+    Add(Box<IExpr>, Box<IExpr>),
+    Sub(Box<IExpr>, Box<IExpr>),
+    Mul(Box<IExpr>, Box<IExpr>),
+    DivC(Box<IExpr>, i64),
+    RemC(Box<IExpr>, i64),
+    DivClamped(Box<IExpr>, Box<IExpr>),
+    MinMax(Box<IExpr>, Box<IExpr>, bool),
+    Select(Box<IExpr>, Box<IExpr>),
+}
+
+fn iconst() -> impl Strategy<Value = i64> {
+    prop_oneof![any::<i64>(), Just(i64::MIN), Just(i64::MAX), -3i64..=3]
+}
+
+fn idenom() -> impl Strategy<Value = i64> {
+    prop_oneof![
+        Just(1i64),
+        Just(2),
+        Just(3),
+        Just(7),
+        Just(16),
+        Just(65536),
+        Just(i64::MAX),
+        Just(-2),
+        Just(-7),
+    ]
+}
+
+fn iexpr() -> impl Strategy<Value = IExpr> {
+    let leaf = prop_oneof![Just(IExpr::I), iconst().prop_map(IExpr::Const)];
+    leaf.prop_recursive(3, 20, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| IExpr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), idenom()).prop_map(|(a, d)| IExpr::DivC(Box::new(a), d)),
+            (inner.clone(), idenom()).prop_map(|(a, d)| IExpr::RemC(Box::new(a), d)),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IExpr::DivClamped(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), any::<bool>())
+                .prop_map(|(a, b, m)| IExpr::MinMax(Box::new(a), Box::new(b), m)),
+            (inner.clone(), inner).prop_map(|(a, b)| IExpr::Select(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn to_ivexpr(e: &IExpr, i: loopvm::Var) -> V {
+    match e {
+        IExpr::I => V::var(i),
+        IExpr::Const(c) => V::i64(*c),
+        IExpr::Add(a, b) => to_ivexpr(a, i) + to_ivexpr(b, i),
+        IExpr::Sub(a, b) => to_ivexpr(a, i) - to_ivexpr(b, i),
+        IExpr::Mul(a, b) => to_ivexpr(a, i) * to_ivexpr(b, i),
+        IExpr::DivC(a, d) => to_ivexpr(a, i) / V::i64(*d),
+        IExpr::RemC(a, d) => to_ivexpr(a, i) % V::i64(*d),
+        IExpr::DivClamped(a, b) => to_ivexpr(a, i) / V::max(to_ivexpr(b, i), V::i64(1)),
+        IExpr::MinMax(a, b, true) => V::min(to_ivexpr(a, i), to_ivexpr(b, i)),
+        IExpr::MinMax(a, b, false) => V::max(to_ivexpr(a, i), to_ivexpr(b, i)),
+        IExpr::Select(a, b) => {
+            V::select(V::lt(to_ivexpr(a, i), to_ivexpr(b, i)), to_ivexpr(a, i), to_ivexpr(b, i))
+        }
+    }
+}
+
+/// Stores an i64 expression's exact value as four 16-bit chunks (each
+/// exactly representable in f32), so bit-equality of the output buffers
+/// implies equality of the full 64-bit values — including the sign, and
+/// without routing through a lossy i64→f32 cast of the raw value.
+fn ichunk_program(e: &IExpr, n: i64, kind: LoopKind) -> (Program, loopvm::BufId) {
+    let mut p = Program::new();
+    let out = p.buffer("out", (n * 4) as usize);
+    let i = p.var("i");
+    let mut body = Vec::new();
+    for c in 0..4i64 {
+        let shift = 65536i64.pow(c as u32);
+        let chunk = (to_ivexpr(e, i) / V::i64(shift)) % V::i64(65536);
+        body.push(Stmt::store(
+            out,
+            V::var(i) * V::i64(4) + V::i64(c),
+            V::to_f32(chunk),
+        ));
+    }
+    p.push(Stmt::for_(i, V::i64(0), V::i64(n), kind, body));
+    (p, out)
+}
+
+/// A random well-typed f32 expression over `in[i]` and special constants.
+#[derive(Debug, Clone)]
+enum FExpr {
+    In,
+    Const(u8),
+    Add(Box<FExpr>, Box<FExpr>),
+    Sub(Box<FExpr>, Box<FExpr>),
+    Mul(Box<FExpr>, Box<FExpr>),
+    Div(Box<FExpr>, Box<FExpr>),
+    MinMax(Box<FExpr>, Box<FExpr>, bool),
+    Neg(Box<FExpr>),
+    Abs(Box<FExpr>),
+    Sqrt(Box<FExpr>),
+    Select(Box<FExpr>, Box<FExpr>),
+}
+
+/// NaN, infinities, signed zero, exact small values, and the fold-bait
+/// identities (1.0, 0.0) the optimizer must only use where IEEE allows.
+const F_SPECIALS: [f32; 10] =
+    [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0, 0.0, 1.0, -1.0, 0.5, -2.25, 3.0e20];
+
+fn fexpr() -> impl Strategy<Value = FExpr> {
+    let leaf = prop_oneof![Just(FExpr::In), (0u8..F_SPECIALS.len() as u8).prop_map(FExpr::Const)];
+    leaf.prop_recursive(3, 20, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| FExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| FExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| FExpr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| FExpr::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), any::<bool>())
+                .prop_map(|(a, b, m)| FExpr::MinMax(Box::new(a), Box::new(b), m)),
+            inner.clone().prop_map(|a| FExpr::Neg(Box::new(a))),
+            inner.clone().prop_map(|a| FExpr::Abs(Box::new(a))),
+            inner.clone().prop_map(|a| FExpr::Sqrt(Box::new(a))),
+            (inner.clone(), inner).prop_map(|(a, b)| FExpr::Select(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn to_fvexpr(e: &FExpr, input: loopvm::BufId, i: loopvm::Var) -> V {
+    match e {
+        FExpr::In => V::load(input, V::var(i)),
+        FExpr::Const(k) => V::f32(F_SPECIALS[*k as usize]),
+        FExpr::Add(a, b) => to_fvexpr(a, input, i) + to_fvexpr(b, input, i),
+        FExpr::Sub(a, b) => to_fvexpr(a, input, i) - to_fvexpr(b, input, i),
+        FExpr::Mul(a, b) => to_fvexpr(a, input, i) * to_fvexpr(b, input, i),
+        FExpr::Div(a, b) => to_fvexpr(a, input, i) / to_fvexpr(b, input, i),
+        FExpr::MinMax(a, b, true) => V::min(to_fvexpr(a, input, i), to_fvexpr(b, input, i)),
+        FExpr::MinMax(a, b, false) => V::max(to_fvexpr(a, input, i), to_fvexpr(b, input, i)),
+        FExpr::Neg(a) => -to_fvexpr(a, input, i),
+        FExpr::Abs(a) => V::abs(to_fvexpr(a, input, i)),
+        FExpr::Sqrt(a) => V::sqrt(to_fvexpr(a, input, i)),
+        FExpr::Select(a, b) => V::select(
+            V::lt(to_fvexpr(a, input, i), to_fvexpr(b, input, i)),
+            to_fvexpr(a, input, i),
+            to_fvexpr(b, input, i),
+        ),
+    }
+}
+
+fn run_mode(p: &Program, seed_in: Option<loopvm::BufId>, tree_walk: bool) -> Vec<u32> {
+    let mut m = Machine::new(p);
+    m.set_threads(2);
+    if let Some(b) = seed_in {
+        for (k, v) in m.buffer_mut(b).iter_mut().enumerate() {
+            *v = F_SPECIALS[k % F_SPECIALS.len()] + (k / F_SPECIALS.len()) as f32;
+        }
+    }
+    if tree_walk {
+        m.set_exec_mode(loopvm::ExecMode::TreeWalk);
+    }
+    m.run(p).unwrap();
+    // Compare bit patterns so NaN payloads and signed zeros must match too.
+    m.buffer(p.nth_buffer(p.n_buffers() - 1)).iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// i64 semantics survive optimization exactly, including Euclidean
+    /// division/remainder at `i64::MIN`/`i64::MAX` and wrapping overflow.
+    #[test]
+    fn optimizer_preserves_i64_semantics(e in iexpr()) {
+        for kind in [LoopKind::Serial, LoopKind::Parallel, LoopKind::Vectorize(8)] {
+            let (p, _) = ichunk_program(&e, 11, kind);
+            prop_assert_eq!(
+                run_mode(&p, None, false),
+                run_mode(&p, None, true),
+                "divergence under {:?} for {:?}", kind, e
+            );
+        }
+    }
+
+    /// f32 semantics survive optimization bit-for-bit: NaN propagation
+    /// through min/max/select, signed zeros, and infinities.
+    #[test]
+    fn optimizer_preserves_f32_nan_semantics(e in fexpr()) {
+        for kind in [LoopKind::Serial, LoopKind::Parallel, LoopKind::Vectorize(8)] {
+            let n = 23usize;
+            let mut p = Program::new();
+            let input = p.buffer("in", n);
+            let out = p.buffer("out", n);
+            let i = p.var("i");
+            p.push(Stmt::for_(
+                i,
+                V::i64(0),
+                V::i64(n as i64),
+                kind,
+                vec![Stmt::store(out, V::var(i), to_fvexpr(&e, input, i))],
+            ));
+            prop_assert_eq!(
+                run_mode(&p, Some(input), false),
+                run_mode(&p, Some(input), true),
+                "divergence under {:?} for {:?}", kind, e
+            );
+        }
+    }
+}
+
 /// Random 2-D tiramisu schedule pipelines compared against the
 /// unscheduled semantics: scheduling commands never change results.
 #[derive(Debug, Clone)]
