@@ -82,6 +82,20 @@ impl Inst {
         }
     }
 
+    /// Whether executing this instruction can fault or panic: a load can
+    /// be out of bounds, `div`/`rem` can hit a zero divisor or
+    /// `i64::MIN / -1`, and `neg`/`abs` of `i64::MIN` overflow. Dead-code
+    /// elimination must never drop these — the bytecode traps exactly
+    /// where the tree-walk reference would.
+    pub(crate) fn can_trap(&self) -> bool {
+        match *self {
+            Inst::Load { .. } => true,
+            Inst::BinI { op: BinOp::Div | BinOp::Rem, .. } => true,
+            Inst::UnI { op: UnOp::Neg | UnOp::Abs, .. } => true,
+            _ => false,
+        }
+    }
+
     /// Source registers with their files (up to three).
     pub(crate) fn srcs(&self) -> [Option<(File, Reg)>; 3] {
         match *self {

@@ -28,7 +28,19 @@
 //!   construction. Only non-trapping operations hoist: loads and
 //!   divisions by non-constant divisors stay pinned at their statement.
 //!
-//! The legality argument for all four is spelled out in `DESIGN.md` §10.
+//! Two cross-cutting invariants:
+//!
+//! - a variable re-bound by a `let` inside a loop body is **loop-carried**
+//!   — its binding is demoted to a frame read for the whole body before
+//!   compilation, so iteration N observes iteration N-1's value exactly
+//!   like the tree-walk (a stale outer register would repeat iteration
+//!   0's value forever);
+//! - the dead-code sweep never removes an instruction that can trap
+//!   (`Inst::can_trap`): a fault stays exactly where the tree-walk
+//!   reference — which evaluates every operand, including discarded
+//!   select arms — would have faulted.
+//!
+//! The legality argument for all of this is spelled out in `DESIGN.md` §10.
 
 use crate::bytecode::{BCode, BcProgram, BcStmt, File, Inst, OptStats, Reg};
 use crate::expr::{BinOp, Expr, Ty, UnOp};
@@ -595,6 +607,14 @@ impl Emitter {
                 }
                 let snap = self.bind.clone();
                 self.sinks.push(Vec::new());
+                // A variable re-bound by a `let` anywhere in the body is
+                // loop-carried: its value in iteration N can depend on
+                // iteration N-1, so reads inside the body must resolve
+                // through the frame (which every `let` writes at runtime),
+                // never through a stale outer register binding.
+                for slot in let_targets(body) {
+                    self.bind[slot] = Bind::Frame;
+                }
                 self.bind[var.index()] = Bind::LoopVar(self.depth());
                 // A nested loop reusing an outer loop's variable slot must
                 // not value-number to the outer loop's per-iteration read.
@@ -626,6 +646,26 @@ fn lvl3(a: u16, b: u16, c: u16) -> u16 {
     a.max(b).max(c)
 }
 
+/// Frame slots re-bound by a `let` anywhere in `body`, recursively.
+fn let_targets(body: &[Stmt]) -> Vec<usize> {
+    fn walk(body: &[Stmt], out: &mut Vec<usize>) {
+        for s in body {
+            match s {
+                Stmt::Let { var, .. } => out.push(var.index()),
+                Stmt::For { body, .. } => walk(body, out),
+                Stmt::If { then, else_, .. } => {
+                    walk(then, out);
+                    walk(else_, out);
+                }
+                Stmt::Store { .. } => {}
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(body, &mut out);
+    out
+}
+
 /// Variable slots whose binding differs between two snapshots.
 fn diff(old: &[Bind], new: &[Bind]) -> Vec<usize> {
     old.iter()
@@ -642,8 +682,11 @@ fn diff(old: &[Bind], new: &[Bind]) -> Vec<usize> {
 
 /// Mark-and-sweep over the SSA def graph: statement roots (store
 /// index/value, let values, conditions, bounds) keep their transitive
-/// operand chains; everything else — including loads made dead by
-/// algebraic folds — is dropped.
+/// operand chains; everything else is dropped — *except* instructions
+/// that can trap (loads, divisions, `neg`/`abs`), which stay even when a
+/// fold made their value dead. The tree-walk reference evaluates every
+/// operand (both select arms, both sides of `x*0`), so an out-of-bounds
+/// load or zero divisor discarded by a fold must still fault here too.
 fn dce(bc: &mut BcProgram) {
     let mut defs: HashMap<(File, Reg), Inst> = HashMap::new();
     collect_defs(&bc.prologue, &mut defs);
@@ -652,6 +695,11 @@ fn dce(bc: &mut BcProgram) {
     let mut live: std::collections::HashSet<(File, Reg)> = std::collections::HashSet::new();
     let mut work: Vec<(File, Reg)> = Vec::new();
     roots(&bc.body, &mut work);
+    for (k, inst) in &defs {
+        if inst.can_trap() {
+            work.push(*k);
+        }
+    }
     while let Some(k) = work.pop() {
         if !live.insert(k) {
             continue;

@@ -101,7 +101,11 @@ impl Stmt {
 }
 
 /// A complete VM program: buffer table, variable slots, statement list.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` is structural (and bitwise on `f32` constants apart from
+/// NaN, which never compares equal): [`crate::Machine`] uses it to key
+/// its compiled-bytecode cache.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Program {
     pub(crate) buffers: Vec<(String, usize)>,
     pub(crate) vars: Vec<String>,

@@ -318,6 +318,10 @@ pub struct Machine {
     cost: CostModel,
     bases: Vec<u64>,
     mode: ExecMode,
+    /// Last program compiled by [`Machine::run`] in bytecode mode, with
+    /// its compiled form — repeated `run()` calls on the same program
+    /// (the benchmark/driver pattern) skip recompilation.
+    bc_cache: Option<(Program, BcProgram)>,
 }
 
 struct ExecCtx<'a> {
@@ -360,6 +364,7 @@ impl Machine {
             cost: CostModel::default(),
             bases,
             mode: default_exec_mode(),
+            bc_cache: None,
         }
     }
 
@@ -414,6 +419,13 @@ impl Machine {
     /// Runs the program with the configured evaluator (by default the
     /// optimized register bytecode; see [`Machine::set_exec_mode`]).
     ///
+    /// The compiled bytecode of the most recent program is cached:
+    /// repeated `run()` calls on a structurally identical [`Program`]
+    /// reuse it instead of re-optimizing (running a different program —
+    /// or the same program after mutation — recompiles). To manage
+    /// compilation explicitly, use [`crate::opt::compile_program`] +
+    /// [`Machine::run_bytecode`].
+    ///
     /// # Errors
     ///
     /// Type errors at bytecode compilation and out-of-bounds accesses at
@@ -421,8 +433,13 @@ impl Machine {
     pub fn run(&mut self, p: &Program) -> Result<()> {
         match self.mode {
             ExecMode::Bytecode => {
-                let bc = crate::opt::compile_program(p)?;
-                self.run_bytecode(&bc)
+                let entry = match self.bc_cache.take() {
+                    Some(e) if e.0 == *p => e,
+                    _ => (p.clone(), crate::opt::compile_program(p)?),
+                };
+                let r = self.run_bytecode(&entry.1);
+                self.bc_cache = Some(entry);
+                r
             }
             ExecMode::TreeWalk => self.run_inner::<false>(p).map(|_| ()),
         }

@@ -329,8 +329,16 @@ fn run_mode(p: &Program, seed_in: Option<loopvm::BufId>, tree_walk: bool) -> Vec
         m.set_exec_mode(loopvm::ExecMode::TreeWalk);
     }
     m.run(p).unwrap();
-    // Compare bit patterns so NaN payloads and signed zeros must match too.
-    m.buffer(p.nth_buffer(p.n_buffers() - 1)).iter().map(|v| v.to_bits()).collect()
+    // Compare bit patterns so signed zeros and infinities must match
+    // exactly. NaNs are canonicalized first: *whether* an operation
+    // produces NaN is deterministic, but the payload/sign of e.g.
+    // `+NaN + -NaN` is not — LLVM may commute `fadd`, and x86 `addss`
+    // propagates the first operand's NaN, so two inlinings of the same
+    // arithmetic can legally differ in payload.
+    m.buffer(p.nth_buffer(p.n_buffers() - 1))
+        .iter()
+        .map(|v| if v.is_nan() { f32::NAN.to_bits() } else { v.to_bits() })
+        .collect()
 }
 
 proptest! {
@@ -371,6 +379,256 @@ proptest! {
                 run_mode(&p, Some(input), false),
                 run_mode(&p, Some(input), true),
                 "divergence under {:?} for {:?}", kind, e
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Loop-carried `let` mutation: a variable re-bound inside a loop body
+// reads the previous iteration's value. The bytecode compiler must route
+// such reads through the frame, not a stale outer register.
+// ---------------------------------------------------------------------------
+
+fn run_program(p: &Program, out: loopvm::BufId, tree_walk: bool, threads: usize) -> Vec<f32> {
+    let mut m = Machine::new(p);
+    m.set_threads(threads);
+    if tree_walk {
+        m.set_exec_mode(loopvm::ExecMode::TreeWalk);
+    }
+    m.run(p).unwrap();
+    m.buffer(out).to_vec()
+}
+
+/// The review repro: `let t = 5; for i in 0..4 { let t = t + 1; out[i] = t }`
+/// must give [6, 7, 8, 9] — a stale register binding repeats 6 forever.
+#[test]
+fn loop_carried_let_reads_previous_iteration() {
+    let mut p = Program::new();
+    let out = p.buffer("out", 4);
+    let t = p.var("t");
+    let i = p.var("i");
+    p.push(Stmt::let_(t, V::i64(5)));
+    p.push(Stmt::serial(
+        i,
+        V::i64(0),
+        V::i64(4),
+        vec![
+            Stmt::let_(t, V::var(t) + V::i64(1)),
+            Stmt::store(out, V::var(i), V::to_f32(V::var(t))),
+        ],
+    ));
+    let expect = vec![6.0, 7.0, 8.0, 9.0];
+    assert_eq!(run_program(&p, out, true, 1), expect, "tree-walk");
+    assert_eq!(run_program(&p, out, false, 1), expect, "bytecode");
+}
+
+/// Loop-carried rebinding through an `if` arm, and through a nested inner
+/// loop whose mutation must survive back out to the outer level.
+#[test]
+fn loop_carried_let_through_if_and_nested_loop() {
+    // let acc = 0; for i in 0..6 { if i % 2 == 0 { let acc = acc + i }; out[i] = acc }
+    let mut p = Program::new();
+    let out = p.buffer("out", 6);
+    let acc = p.var("acc");
+    let i = p.var("i");
+    p.push(Stmt::let_(acc, V::i64(0)));
+    p.push(Stmt::serial(
+        i,
+        V::i64(0),
+        V::i64(6),
+        vec![
+            Stmt::if_then(
+                V::eq(V::var(i) % V::i64(2), V::i64(0)),
+                vec![Stmt::let_(acc, V::var(acc) + V::var(i))],
+            ),
+            Stmt::store(out, V::var(i), V::to_f32(V::var(acc))),
+        ],
+    ));
+    let expect = vec![0.0, 0.0, 2.0, 2.0, 6.0, 6.0];
+    assert_eq!(run_program(&p, out, true, 1), expect, "tree-walk");
+    assert_eq!(run_program(&p, out, false, 1), expect, "bytecode");
+
+    // let s = 0; for i in 0..3 { for j in 0..2 { let s = s + (i*2 + j) } }
+    // out[0] = s   — the accumulated value is read *after* both loops.
+    let mut p = Program::new();
+    let out = p.buffer("out", 1);
+    let s = p.var("s");
+    let i = p.var("i");
+    let j = p.var("j");
+    p.push(Stmt::let_(s, V::i64(0)));
+    p.push(Stmt::serial(
+        i,
+        V::i64(0),
+        V::i64(3),
+        vec![Stmt::serial(
+            j,
+            V::i64(0),
+            V::i64(2),
+            vec![Stmt::let_(s, V::var(s) + (V::var(i) * V::i64(2) + V::var(j)))],
+        )],
+    ));
+    p.push(Stmt::store(out, V::i64(0), V::to_f32(V::var(s))));
+    assert_eq!(run_program(&p, out, true, 1), vec![15.0], "tree-walk");
+    assert_eq!(run_program(&p, out, false, 1), vec![15.0], "bytecode");
+}
+
+/// A fold that discards an expression (here: a constant-condition select
+/// arm) must not silence the trap the tree-walk reference would raise
+/// while evaluating it — DCE keeps faulting instructions alive.
+#[test]
+fn folded_out_loads_still_trap() {
+    let mut p = Program::new();
+    let input = p.buffer("in", 4);
+    let out = p.buffer("out", 4);
+    let i = p.var("i");
+    p.push(Stmt::serial(
+        i,
+        V::i64(0),
+        V::i64(4),
+        vec![Stmt::store(
+            out,
+            V::var(i),
+            V::select(
+                V::i64(1),
+                V::load(input, V::var(i)),
+                V::load(input, V::var(i) + V::i64(100)),
+            ),
+        )],
+    ));
+    let mut fast = Machine::new(&p);
+    let fast_r = fast.run(&p);
+    assert!(fast_r.is_err(), "bytecode must fault like the tree-walk: {fast_r:?}");
+    let mut reference = Machine::new(&p);
+    reference.set_exec_mode(loopvm::ExecMode::TreeWalk);
+    assert_eq!(fast_r, reference.run(&p));
+}
+
+/// `Machine::run` caches compiled bytecode keyed by structural program
+/// equality: a cache hit reuses it, a mutated program recompiles.
+#[test]
+fn bytecode_cache_tracks_program_identity() {
+    let mut p = Program::new();
+    let out = p.buffer("out", 2);
+    let i = p.var("i");
+    p.push(Stmt::serial(
+        i,
+        V::i64(0),
+        V::i64(2),
+        vec![Stmt::store(out, V::var(i), V::f32(1.0))],
+    ));
+    let mut m = Machine::new(&p);
+    m.run(&p).unwrap();
+    m.run(&p).unwrap(); // second run hits the cache
+    assert_eq!(m.buffer(out), &[1.0, 1.0]);
+    // Same machine, structurally different program: must recompile, not
+    // replay the stale cache entry.
+    if let Stmt::For { body, .. } = &mut p.body[0] {
+        body[0] = Stmt::store(out, V::var(i), V::f32(2.0));
+    }
+    m.run(&p).unwrap();
+    assert_eq!(m.buffer(out), &[2.0, 2.0]);
+}
+
+/// An accumulator update drawn for the loop-carried proptest below.
+#[derive(Debug, Clone, Copy)]
+enum AccOp {
+    Add,
+    Sub,
+    Mul,
+    Min,
+    Max,
+}
+
+fn accop() -> impl Strategy<Value = AccOp> {
+    prop_oneof![
+        Just(AccOp::Add),
+        Just(AccOp::Sub),
+        Just(AccOp::Mul),
+        Just(AccOp::Min),
+        Just(AccOp::Max)
+    ]
+}
+
+fn acc_apply(op: AccOp, a: i64, b: i64) -> i64 {
+    match op {
+        AccOp::Add => a.wrapping_add(b),
+        AccOp::Sub => a.wrapping_sub(b),
+        AccOp::Mul => a.wrapping_mul(b),
+        AccOp::Min => a.min(b),
+        AccOp::Max => a.max(b),
+    }
+}
+
+fn acc_expr(op: AccOp, a: V, b: V) -> V {
+    match op {
+        AccOp::Add => a + b,
+        AccOp::Sub => a - b,
+        AccOp::Mul => a * b,
+        AccOp::Min => V::min(a, b),
+        AccOp::Max => V::max(a, b),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random chains of loop-carried `let` updates agree with a direct
+    /// Rust evaluation under the serial bytecode path, and bytecode
+    /// agrees with the tree-walk under every loop kind (parallel workers
+    /// snapshot the frame at loop entry in both evaluators, so their
+    /// shared semantics are compared mode-vs-mode, not against serial).
+    #[test]
+    fn loop_carried_let_chains_agree(
+        init in -4i64..=4,
+        ops in proptest::collection::vec((accop(), -3i64..=3), 1..4),
+        n in 1i64..12,
+    ) {
+        let build = |kind: LoopKind| {
+            let mut p = Program::new();
+            let out = p.buffer("out", n as usize);
+            let a = p.var("a");
+            let i = p.var("i");
+            p.push(Stmt::let_(a, V::i64(init)));
+            let mut body = Vec::new();
+            for (op, c) in &ops {
+                body.push(Stmt::let_(
+                    a,
+                    acc_expr(*op, V::var(a), V::var(i) + V::i64(*c)),
+                ));
+            }
+            // Store the low 16 bits (exact in f32) so wrapping overflow
+            // still round-trips bit-exactly through the f32 buffer.
+            body.push(Stmt::store(out, V::var(i), V::to_f32(V::var(a) % V::i64(65536))));
+            p.push(Stmt::for_(i, V::i64(0), V::i64(n), kind, body));
+            (p, out)
+        };
+
+        // Ground truth for the serial path.
+        let (p, out) = build(LoopKind::Serial);
+        let mut acc = init;
+        let mut expect = Vec::new();
+        for i in 0..n {
+            for (op, c) in &ops {
+                acc = acc_apply(*op, acc, i.wrapping_add(*c));
+            }
+            expect.push(acc.rem_euclid(65536) as f32);
+        }
+        prop_assert_eq!(run_program(&p, out, false, 1), expect.clone(), "bytecode vs rust");
+        prop_assert_eq!(run_program(&p, out, true, 1), expect, "tree-walk vs rust");
+
+        // Mode agreement under every loop kind.
+        for kind in [
+            LoopKind::Serial,
+            LoopKind::Parallel,
+            LoopKind::Vectorize(4),
+            LoopKind::Unroll(2),
+        ] {
+            let (p, out) = build(kind);
+            prop_assert_eq!(
+                run_program(&p, out, false, 2),
+                run_program(&p, out, true, 2),
+                "bytecode vs tree-walk under {:?}", kind
             );
         }
     }
