@@ -57,6 +57,28 @@ fn bench(c: &mut Criterion) {
         });
     }
     g.finish();
+
+    // Executor ablation on the tiled GPU sgemm: the warp-bytecode path
+    // (default `GpuModule::run`, phase bytecode compiled once by the
+    // pipeline) vs the tree-walk SIMT reference (numbers recorded in
+    // EXPERIMENTS.md).
+    let mut g = c.benchmark_group("fig1_sgemm_gpu_execmode");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.measurement_time(std::time::Duration::from_millis(800));
+    let module = kernels::sgemm::gpu_tiled(n, 8).unwrap();
+    let mut bufs = module.alloc_buffers();
+    g.bench_function("bytecode", |b| {
+        b.iter(|| module.run(&mut bufs, &gpusim::GpuModel::default()).unwrap());
+    });
+    g.bench_function("tree-walk", |b| {
+        b.iter(|| {
+            for k in &module.kernels {
+                gpusim::launch_tree_walk(k, &mut bufs, &gpusim::GpuModel::default()).unwrap();
+            }
+        });
+    });
+    g.finish();
 }
 
 criterion_group!(benches, bench);

@@ -4,19 +4,74 @@
 //! cargo run --release -p bench --bin figures -- all
 //! cargo run --release -p bench --bin figures -- fig1 table1 fig5 fig6 fig7
 //! ```
+//!
+//! `all` (or no argument) additionally writes `BENCH_figures.json` at the
+//! workspace root: a machine-readable snapshot of every figure. Modeled
+//! time is deterministic, so the snapshot is stable across hosts and is
+//! committed for drift tracking.
 
 use bench::{default_img, fig1_cpu, fig1_gpu, fig5, fig6, fig7, normalized, render_table, table1};
+
+/// Minimal JSON string escape (quotes/backslashes/control chars) — the
+/// vendored serde is a stub, so the snapshot is written by hand.
+fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn jopt(v: &Option<f64>) -> String {
+    match v {
+        Some(v) => jnum(*v),
+        None => "null".to_string(),
+    }
+}
+
+fn jbars(pairs: &[(String, f64)]) -> String {
+    let cells: Vec<String> =
+        pairs.iter().map(|(n, v)| format!("{}: {}", jstr(n), jnum(*v))).collect();
+    format!("{{{}}}", cells.join(", "))
+}
+
+fn jrows(rows: &[(String, Vec<Option<f64>>)]) -> String {
+    let cells: Vec<String> = rows
+        .iter()
+        .map(|(n, vs)| {
+            let vals: Vec<String> = vs.iter().map(jopt).collect();
+            format!("{}: [{}]", jstr(n), vals.join(", "))
+        })
+        .collect();
+    format!("{{{}}}", cells.join(", "))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |k: &str| args.is_empty() || args.iter().any(|a| a == k || a == "all");
+    let emit_json = args.is_empty() || args.iter().any(|a| a == "all");
+    let mut sections: Vec<String> = Vec::new();
 
     if want("fig1") {
         let bars = fig1_cpu(96, 32);
-        let rows: Vec<Vec<String>> = normalized(&bars, "Intel MKL")
-            .into_iter()
-            .map(|(n, v)| vec![n, format!("{v:.2}")])
-            .collect();
+        let norm = normalized(&bars, "Intel MKL");
+        let rows: Vec<Vec<String>> =
+            norm.iter().map(|(n, v)| vec![n.clone(), format!("{v:.2}")]).collect();
         print!(
             "{}",
             render_table(
@@ -25,11 +80,11 @@ fn main() {
                 &rows
             )
         );
+        sections.push(format!("  \"fig1_cpu\": {}", jbars(&norm)));
         let bars = fig1_gpu(64);
-        let rows: Vec<Vec<String>> = normalized(&bars, "cuBLAS")
-            .into_iter()
-            .map(|(n, v)| vec![n, format!("{v:.2}")])
-            .collect();
+        let norm = normalized(&bars, "cuBLAS");
+        let rows: Vec<Vec<String>> =
+            norm.iter().map(|(n, v)| vec![n.clone(), format!("{v:.2}")]).collect();
         print!(
             "{}",
             render_table(
@@ -38,6 +93,7 @@ fn main() {
                 &rows
             )
         );
+        sections.push(format!("  \"fig1_gpu\": {}", jbars(&norm)));
     }
 
     if want("table1") {
@@ -60,11 +116,10 @@ fn main() {
     }
 
     if want("fig5") {
-        let rows: Vec<Vec<String>> = fig5()
-            .into_iter()
-            .map(|(name, t, r)| {
-                vec![name, "1.00".to_string(), format!("{:.2}", r / t)]
-            })
+        let data = fig5();
+        let rows: Vec<Vec<String>> = data
+            .iter()
+            .map(|(name, t, r)| vec![name.clone(), "1.00".to_string(), format!("{:.2}", r / t)])
             .collect();
         print!(
             "{}",
@@ -74,6 +129,9 @@ fn main() {
                 &rows
             )
         );
+        let norm: Vec<(String, f64)> =
+            data.iter().map(|(n, t, r)| (n.clone(), r / t)).collect();
+        sections.push(format!("  \"fig5_reference_over_tiramisu\": {}", jbars(&norm)));
     }
 
     if want("fig6") {
@@ -98,13 +156,20 @@ fn main() {
         print!("{}", fmt_block("Figure 6 (a): single-node multicore (lower is better)", &f.cpu));
         print!("{}", fmt_block("Figure 6 (b): GPU", &f.gpu));
         print!("{}", fmt_block("Figure 6 (c): distributed (4 ranks)", &f.dist));
+        let benches: Vec<String> =
+            kernels::image::IMAGE_BENCHMARKS.iter().map(|n| jstr(n)).collect();
+        sections.push(format!("  \"fig6_benchmarks\": [{}]", benches.join(", ")));
+        sections.push(format!("  \"fig6_cpu\": {}", jrows(&f.cpu)));
+        sections.push(format!("  \"fig6_gpu\": {}", jrows(&f.gpu)));
+        sections.push(format!("  \"fig6_dist\": {}", jrows(&f.dist)));
     }
 
     if want("fig7") {
-        let rows: Vec<Vec<String>> = fig7(bench::fig7_img())
-            .into_iter()
+        let data = fig7(bench::fig7_img());
+        let rows: Vec<Vec<String>> = data
+            .iter()
             .map(|(name, sp)| {
-                let mut r = vec![name];
+                let mut r = vec![name.clone()];
                 r.extend(sp.iter().map(|v| format!("{v:.2}")));
                 r
             })
@@ -117,5 +182,19 @@ fn main() {
                 &rows
             )
         );
+        let fig7_rows: Vec<(String, Vec<Option<f64>>)> = data
+            .into_iter()
+            .map(|(n, sp)| (n, sp.into_iter().map(Some).collect()))
+            .collect();
+        sections.push(format!("  \"fig7_speedup_over_2_ranks\": {}", jrows(&fig7_rows)));
+    }
+
+    if emit_json {
+        let json = format!("{{\n{}\n}}\n", sections.join(",\n"));
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_figures.json");
+        std::fs::write(&path, json).expect("write BENCH_figures.json");
+        eprintln!("wrote {}", path.display());
     }
 }

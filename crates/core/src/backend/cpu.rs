@@ -182,7 +182,7 @@ impl EmitTarget for CpuTarget {
         // Bind parameters at the top of the program.
         let mut top = lm.param_lets();
         top.extend(body);
-        lm.program.body = top;
+        lm.program.set_body(top);
         Ok(CpuModule {
             program: std::mem::take(&mut lm.program),
             buffer_map: std::mem::take(&mut lm.buffer_map),
@@ -193,7 +193,7 @@ impl EmitTarget for CpuTarget {
     }
 
     fn module_stats(&self, module: &CpuModule) -> (usize, String) {
-        (count_vm_stmts(&module.program.body), module.program.pretty())
+        (count_vm_stmts(module.program.body()), module.program.pretty())
     }
 
     fn optimize(&mut self, module: &mut CpuModule) -> Result<Option<(loopvm::OptStats, String)>> {

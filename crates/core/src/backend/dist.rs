@@ -42,6 +42,11 @@ pub struct DistModule {
     /// The rank program (run it with [`mpisim::run`]).
     pub dist: DistProgram,
     buffer_map: HashMap<String, loopvm::BufId>,
+    /// Per-chunk bytecode compiled by the `optimize` pass (chunk 0 is the
+    /// preamble, then each compute chunk in program order). The runtime
+    /// memoizes its own copies per rank-chunk shape; this set backs
+    /// [`DistModule::disasm`] and inspection.
+    chunk_bytecode: Option<Vec<loopvm::BcProgram>>,
     trace: Option<CompileTrace>,
 }
 
@@ -54,6 +59,23 @@ impl DistModule {
     /// The compile trace, when tracing was enabled.
     pub fn compile_trace(&self) -> Option<&CompileTrace> {
         self.trace.as_ref()
+    }
+
+    /// The chunk bytecode the `optimize` pass compiled (chunk 0 is the
+    /// preamble, then one program per compute chunk), if any.
+    pub fn bytecode(&self) -> Option<&[loopvm::BcProgram]> {
+        self.chunk_bytecode.as_deref()
+    }
+
+    /// Disassembles the stored chunk bytecode.
+    pub fn disasm(&self) -> Option<String> {
+        let chunks = self.chunk_bytecode.as_ref()?;
+        let mut out = String::new();
+        for (k, bc) in chunks.iter().enumerate() {
+            out.push_str(&format!("// chunk {k}\n"));
+            out.push_str(&bc.disasm(&self.dist.program));
+        }
+        Some(out)
     }
 
     /// Runs the module on `n_ranks` simulated nodes; VM errors from any
@@ -139,6 +161,7 @@ impl EmitTarget for DistTarget {
         Ok(DistModule {
             dist: DistProgram { program, rank_var, body, preamble },
             buffer_map: std::mem::take(&mut lm.buffer_map),
+            chunk_bytecode: None,
             trace: None,
         })
     }
@@ -147,9 +170,9 @@ impl EmitTarget for DistTarget {
         (layer4::count_dist_stmts(&module.dist.body), module.dist.pretty())
     }
 
-    // Analysis-only: `mpisim` runs compute chunks through the reference
-    // evaluator (its per-rank cost accounting is the model), so the
-    // bytecode compiled here only feeds the trace counters.
+    // Compiles the preamble and each compute chunk to bytecode and stores
+    // the programs on the module (the runtime memoizes equivalent copies
+    // lazily per rank-chunk shape; these back `DistModule::disasm`).
     fn optimize(&mut self, module: &mut DistModule) -> Result<Option<(loopvm::OptStats, String)>> {
         fn chunks<'a>(body: &'a [mpisim::DistStmt], out: &mut Vec<&'a [Stmt]>) {
             for s in body {
@@ -165,6 +188,7 @@ impl EmitTarget for DistTarget {
         let mut ir = String::new();
         let mut bodies: Vec<&[Stmt]> = vec![&module.dist.preamble];
         chunks(&module.dist.body, &mut bodies);
+        let mut compiled = Vec::with_capacity(bodies.len());
         for (k, body) in bodies.iter().enumerate() {
             let bc = loopvm::opt::compile_body(&module.dist.program, body)
                 .map_err(|e| Error::Backend(format!("bytecode optimization (chunk {k}): {e}")))?;
@@ -172,7 +196,9 @@ impl EmitTarget for DistTarget {
             if disasm {
                 ir.push_str(&format!("// chunk {k}\n{}", bc.disasm(&module.dist.program)));
             }
+            compiled.push(bc);
         }
+        module.chunk_bytecode = Some(compiled);
         if !disasm {
             ir = stats.summary();
         }

@@ -53,6 +53,9 @@ pub struct GpuModule {
     pub h2d: Vec<(String, usize)>,
     /// Buffers copied device→host after execution (name, bytes).
     pub d2h: Vec<(String, usize)>,
+    /// Per-kernel, per-phase warp bytecode compiled by the `optimize`
+    /// pass; [`GpuModule::run`] launches these instead of recompiling.
+    kernel_bytecode: Option<Vec<Vec<loopvm::BcProgram>>>,
     trace: Option<CompileTrace>,
 }
 
@@ -85,6 +88,25 @@ impl GpuModule {
         self.trace.as_ref()
     }
 
+    /// The phase bytecode the `optimize` pass compiled for kernel `k`
+    /// (one [`loopvm::BcProgram`] per barrier-delimited phase), if any.
+    pub fn bytecode(&self, k: usize) -> Option<&[loopvm::BcProgram]> {
+        self.kernel_bytecode.as_ref().and_then(|ks| ks.get(k)).map(Vec::as_slice)
+    }
+
+    /// Disassembles the stored kernel bytecode (all kernels, all phases).
+    pub fn disasm(&self) -> Option<String> {
+        let ks = self.kernel_bytecode.as_ref()?;
+        let mut out = String::new();
+        for (k, (phases, ker)) in ks.iter().zip(&self.kernels).enumerate() {
+            for (p, bc) in phases.iter().enumerate() {
+                out.push_str(&format!("// kernel {k} phase {p}\n"));
+                out.push_str(&bc.disasm(&ker.program));
+            }
+        }
+        Some(out)
+    }
+
     /// Runs all kernels in order on the modeled device.
     ///
     /// # Errors
@@ -95,9 +117,14 @@ impl GpuModule {
         for (_, bytes) in self.h2d.iter().chain(self.d2h.iter()) {
             out.copy_cycles += gpusim::exec::copy_cost(model, *bytes);
         }
-        for k in &self.kernels {
-            let stats =
-                gpusim::launch(k, buffers, model).map_err(|e| Error::Backend(e.to_string()))?;
+        for (i, k) in self.kernels.iter().enumerate() {
+            // Prefer the phase bytecode compiled once by the optimize
+            // pass; `launch_precompiled` still honors GPUSIM_TREEWALK.
+            let stats = match self.kernel_bytecode.as_ref().and_then(|ks| ks.get(i)) {
+                Some(phases) => gpusim::launch_precompiled(k, buffers, model, phases),
+                None => gpusim::launch(k, buffers, model),
+            }
+            .map_err(|e| Error::Backend(e.to_string()))?;
             out.total_cycles += stats.cycles;
             out.kernels.push(stats);
         }
@@ -210,6 +237,7 @@ impl EmitTarget for GpuTarget {
             buffer_map: std::mem::take(&mut lm.buffer_map),
             h2d,
             d2h,
+            kernel_bytecode: None,
             trace: None,
         })
     }
@@ -218,12 +246,12 @@ impl EmitTarget for GpuTarget {
         let mut nodes = 0;
         let mut out = String::new();
         for (k, ker) in module.kernels.iter().enumerate() {
-            nodes += count_vm_stmts(&ker.program.body);
+            nodes += count_vm_stmts(ker.program.body());
             out.push_str(&format!(
                 "// kernel {k}: grid [{}, {}] block [{}, {}]\n",
                 ker.grid[0], ker.grid[1], ker.block[0], ker.block[1]
             ));
-            out.push_str(&ker.program.pretty_stmts(&ker.program.body, 0));
+            out.push_str(&ker.program.pretty_stmts(ker.program.body(), 0));
         }
         for (n, b) in &module.h2d {
             out.push_str(&format!("// h2d {n}: {b} bytes\n"));
@@ -234,21 +262,26 @@ impl EmitTarget for GpuTarget {
         (nodes, out)
     }
 
-    // Analysis-only: the SIMT simulator executes kernel bodies through the
-    // reference evaluator (its divergence/coalescing model prices the tree
-    // walk), so the bytecode is compiled for its trace counters and dropped.
+    // Compiles each kernel to per-phase warp bytecode and stores it on the
+    // module: `GpuModule::run` launches these programs through the SIMT
+    // warp executor (one compile, many launches).
     fn optimize(&mut self, module: &mut GpuModule) -> Result<Option<(loopvm::OptStats, String)>> {
         let disasm = pipeline::trace::disasm_enabled();
         let mut stats = loopvm::OptStats::default();
         let mut ir = String::new();
+        let mut all_phases = Vec::with_capacity(module.kernels.len());
         for (k, ker) in module.kernels.iter().enumerate() {
-            let bc = loopvm::opt::compile_program(&ker.program)
+            let phases = gpusim::compile_phases(ker)
                 .map_err(|e| Error::Backend(format!("bytecode optimization (kernel {k}): {e}")))?;
-            stats.merge(&bc.stats());
-            if disasm {
-                ir.push_str(&format!("// kernel {k}\n{}", bc.disasm(&ker.program)));
+            for (p, bc) in phases.iter().enumerate() {
+                stats.merge(&bc.stats());
+                if disasm {
+                    ir.push_str(&format!("// kernel {k} phase {p}\n{}", bc.disasm(&ker.program)));
+                }
             }
+            all_phases.push(phases);
         }
+        module.kernel_bytecode = Some(all_phases);
         if !disasm {
             ir = stats.summary();
         }

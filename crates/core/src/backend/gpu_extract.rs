@@ -201,7 +201,7 @@ pub(crate) fn try_extract_kernel<T: EmitTarget + ?Sized>(
     barriers.pop();
 
     let mut program = lm.program.clone();
-    program.body = body;
+    program.set_body(body);
     let mut kernel = Kernel::new(program, grid, block);
     kernel.block_vars = block_vars;
     kernel.thread_vars = thread_vars;

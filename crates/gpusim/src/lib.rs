@@ -26,7 +26,9 @@
 
 pub mod exec;
 
-pub use exec::{launch, LaunchStats};
+pub use exec::{
+    compile_phases, launch, launch_bytecode, launch_precompiled, launch_tree_walk, LaunchStats,
+};
 
 use loopvm::{Program, Var};
 

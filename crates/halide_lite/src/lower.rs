@@ -88,7 +88,7 @@ pub fn compile(
         }
         body.extend(ctx.lower_func(fid, &mut program)?);
     }
-    program.body = body;
+    program.set_body(body);
     Ok(CompiledPipeline { program, func_buffers, func_origin, input_buffers, bounds })
 }
 

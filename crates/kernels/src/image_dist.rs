@@ -31,6 +31,17 @@ pub struct DistPrep {
 }
 
 impl DistPrep {
+    /// The per-chunk bytecode the pipeline's optimize pass stored on the
+    /// module (chunk 0 is the preamble).
+    pub fn bytecode(&self) -> Option<&[loopvm::BcProgram]> {
+        self.module.bytecode()
+    }
+
+    /// Disassembly of the stored rank-chunk bytecode.
+    pub fn disasm(&self) -> Option<String> {
+        self.module.disasm()
+    }
+
     /// Runs on the simulated cluster with seeded inputs.
     ///
     /// # Errors

@@ -88,12 +88,12 @@ impl Inst {
     /// elimination must never drop these — the bytecode traps exactly
     /// where the tree-walk reference would.
     pub(crate) fn can_trap(&self) -> bool {
-        match *self {
-            Inst::Load { .. } => true,
-            Inst::BinI { op: BinOp::Div | BinOp::Rem, .. } => true,
-            Inst::UnI { op: UnOp::Neg | UnOp::Abs, .. } => true,
-            _ => false,
-        }
+        matches!(
+            *self,
+            Inst::Load { .. }
+                | Inst::BinI { op: BinOp::Div | BinOp::Rem, .. }
+                | Inst::UnI { op: UnOp::Neg | UnOp::Abs, .. }
+        )
     }
 
     /// Source registers with their files (up to three).

@@ -50,13 +50,15 @@ pub mod cost;
 pub mod expr;
 pub mod opt;
 pub mod program;
+pub mod simt;
 pub mod vm;
 
 pub use bytecode::{BcProgram, OptStats};
 pub use cost::{CacheCfg, CacheSim, CostModel};
 pub use expr::{BinOp, Expr, Ty, UnOp, Var};
 pub use program::{BufId, LoopKind, Program, Stmt};
-pub use vm::{compile, eval_scalar, Code, ExecMode, Machine, Op, RunStats};
+pub use simt::{exec_warp, WarpHost};
+pub use vm::{compile, eval_scalar, Code, ExecMode, Machine, Op, RunStats, ScalarThunk};
 
 /// Errors produced when compiling or executing a program.
 #[derive(Debug, Clone, PartialEq)]

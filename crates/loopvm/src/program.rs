@@ -1,6 +1,7 @@
 //! Program structure: buffers, statements, loop annotations.
 
 use crate::expr::{Expr, Var};
+use std::hash::{Hash, Hasher};
 
 /// Identifier of a flat `f32` buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -103,14 +104,123 @@ impl Stmt {
 /// A complete VM program: buffer table, variable slots, statement list.
 ///
 /// `PartialEq` is structural (and bitwise on `f32` constants apart from
-/// NaN, which never compares equal): [`crate::Machine`] uses it to key
-/// its compiled-bytecode cache.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// NaN, which never compares equal). Every construction path
+/// ([`Program::push`], [`Program::set_body`], the declaration builders)
+/// also folds the added structure into a 64-bit [`Program::fingerprint`],
+/// so [`crate::Machine`] can key its compiled-bytecode cache with one
+/// integer comparison instead of an O(program) structural walk.
+#[derive(Debug, Clone, Default)]
 pub struct Program {
     pub(crate) buffers: Vec<(String, usize)>,
     pub(crate) vars: Vec<String>,
-    /// Top-level statements, executed in order.
-    pub body: Vec<Stmt>,
+    /// Top-level statements, executed in order. Mutations go through
+    /// [`Program::push`] / [`Program::set_body`] so the fingerprint stays
+    /// in sync.
+    pub(crate) body: Vec<Stmt>,
+    /// Running hash of the declaration tables (buffers + vars).
+    fp_decl: u64,
+    /// Running hash of the statement list.
+    fp_body: u64,
+}
+
+impl PartialEq for Program {
+    fn eq(&self, other: &Program) -> bool {
+        // Structural equality only; the fingerprints are derived state.
+        self.buffers == other.buffers && self.vars == other.vars && self.body == other.body
+    }
+}
+
+/// Deterministic 64-bit fold (FNV-style mixing of SipHash'd items): the
+/// fingerprint must be stable for a given construction sequence within a
+/// process, and incremental so builders stay O(added structure).
+fn fp_mix(acc: u64, item: u64) -> u64 {
+    (acc ^ item).wrapping_mul(0x100_0000_01b3).rotate_left(29)
+}
+
+fn fp_item(f: impl FnOnce(&mut std::collections::hash_map::DefaultHasher)) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    f(&mut h);
+    h.finish()
+}
+
+fn hash_expr(e: &Expr, h: &mut impl Hasher) {
+    std::mem::discriminant(e).hash(h);
+    match e {
+        // f32 constants hash by bit pattern (NaN payloads included), like
+        // the bytecode compiler's constant table.
+        Expr::ConstF(v) => v.to_bits().hash(h),
+        Expr::ConstI(v) => v.hash(h),
+        Expr::Var(v) => v.0.hash(h),
+        Expr::Load(b, i) => {
+            b.0.hash(h);
+            hash_expr(i, h);
+        }
+        Expr::Bin(op, a, b) => {
+            op.hash(h);
+            hash_expr(a, h);
+            hash_expr(b, h);
+        }
+        Expr::Un(op, a) => {
+            op.hash(h);
+            hash_expr(a, h);
+        }
+        Expr::Select(c, a, b) => {
+            hash_expr(c, h);
+            hash_expr(a, h);
+            hash_expr(b, h);
+        }
+        Expr::Cast(t, a) => {
+            t.hash(h);
+            hash_expr(a, h);
+        }
+    }
+}
+
+fn hash_stmt(s: &Stmt, h: &mut impl Hasher) {
+    std::mem::discriminant(s).hash(h);
+    match s {
+        Stmt::For { var, lower, upper, kind, body } => {
+            var.0.hash(h);
+            hash_expr(lower, h);
+            hash_expr(upper, h);
+            match kind {
+                LoopKind::Serial => 0u8.hash(h),
+                LoopKind::Parallel => 1u8.hash(h),
+                LoopKind::Vectorize(w) => {
+                    2u8.hash(h);
+                    w.hash(h);
+                }
+                LoopKind::Unroll(w) => {
+                    3u8.hash(h);
+                    w.hash(h);
+                }
+            }
+            body.len().hash(h);
+            for s in body {
+                hash_stmt(s, h);
+            }
+        }
+        Stmt::If { cond, then, else_ } => {
+            hash_expr(cond, h);
+            then.len().hash(h);
+            for s in then {
+                hash_stmt(s, h);
+            }
+            else_.len().hash(h);
+            for s in else_ {
+                hash_stmt(s, h);
+            }
+        }
+        Stmt::Store { buf, index, value } => {
+            buf.0.hash(h);
+            hash_expr(index, h);
+            hash_expr(value, h);
+        }
+        Stmt::Let { var, value } => {
+            var.0.hash(h);
+            hash_expr(value, h);
+        }
+    }
 }
 
 impl Program {
@@ -122,18 +232,59 @@ impl Program {
     /// Declares a buffer of `size` `f32` elements.
     pub fn buffer(&mut self, name: &str, size: usize) -> BufId {
         self.buffers.push((name.to_string(), size));
+        self.fp_decl = fp_mix(
+            self.fp_decl,
+            fp_item(|h| {
+                b"buf".hash(h);
+                name.hash(h);
+                size.hash(h);
+            }),
+        );
         BufId((self.buffers.len() - 1) as u32)
     }
 
     /// Declares a scalar variable slot.
     pub fn var(&mut self, name: &str) -> Var {
         self.vars.push(name.to_string());
+        self.fp_decl = fp_mix(
+            self.fp_decl,
+            fp_item(|h| {
+                b"var".hash(h);
+                name.hash(h);
+            }),
+        );
         Var((self.vars.len() - 1) as u32)
     }
 
     /// Appends a top-level statement.
     pub fn push(&mut self, s: Stmt) {
+        self.fp_body = fp_mix(self.fp_body, fp_item(|h| hash_stmt(&s, h)));
         self.body.push(s);
+    }
+
+    /// The top-level statements.
+    pub fn body(&self) -> &[Stmt] {
+        &self.body
+    }
+
+    /// Replaces the whole statement list (lowering pipelines build bodies
+    /// out-of-line). The fingerprint is recomputed from the new body.
+    pub fn set_body(&mut self, body: Vec<Stmt>) {
+        self.fp_body = 0;
+        for s in &body {
+            self.fp_body = fp_mix(self.fp_body, fp_item(|h| hash_stmt(s, h)));
+        }
+        self.body = body;
+    }
+
+    /// A 64-bit structural fingerprint of the program (declarations and
+    /// statements, `f32` constants by bit pattern), maintained
+    /// incrementally by the builders. Two structurally equal programs
+    /// always have equal fingerprints; [`crate::Machine::run`] keys its
+    /// compiled-bytecode cache on this value, making the repeated-run
+    /// cache hit O(1) instead of an O(program) equality walk.
+    pub fn fingerprint(&self) -> u64 {
+        fp_mix(fp_mix(0x7472_616d_6973_7531, self.fp_decl), self.fp_body)
     }
 
     /// Number of declared buffers.
@@ -317,6 +468,43 @@ mod tests {
         let i = p.var("i");
         let j = p.var("j");
         assert_ne!(i, j);
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure() {
+        let build = |c: f32| {
+            let mut p = Program::new();
+            let a = p.buffer("A", 10);
+            let i = p.var("i");
+            p.push(Stmt::serial(
+                i,
+                Expr::i64(0),
+                Expr::i64(10),
+                vec![Stmt::store(a, Expr::var(i), Expr::f32(c))],
+            ));
+            p
+        };
+        // Equal structure => equal fingerprint (the cache-hit direction).
+        assert_eq!(build(1.0), build(1.0));
+        assert_eq!(build(1.0).fingerprint(), build(1.0).fingerprint());
+        // Different constants, names, or bodies => different fingerprints.
+        assert_ne!(build(1.0).fingerprint(), build(2.0).fingerprint());
+        let mut renamed = Program::new();
+        renamed.buffer("B", 10);
+        renamed.var("i");
+        assert_ne!(
+            build(1.0).fingerprint(),
+            {
+                renamed.push(build(1.0).body()[0].clone());
+                renamed.fingerprint()
+            }
+        );
+        // set_body keeps the fingerprint in sync with the new statements.
+        let mut p = build(1.0);
+        let q = build(2.0);
+        p.set_body(q.body().to_vec());
+        assert_eq!(p.fingerprint(), q.fingerprint());
+        assert_ne!(p.fingerprint(), build(1.0).fingerprint());
     }
 
     #[test]

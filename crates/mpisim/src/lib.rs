@@ -60,12 +60,12 @@
 //!   [`DistError::CommMismatch`] diagnostics.
 
 use bytes::{Bytes, BytesMut};
-use loopvm::{eval_scalar, BufId, Expr, Machine, Program, RunStats, Stmt, Var};
+use loopvm::{eval_scalar, BcProgram, BufId, Expr, Machine, Program, RunStats, ScalarThunk, Stmt, Var};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 mod barrier;
@@ -509,6 +509,10 @@ pub fn run_with_opts(
     let inboxes = Arc::new(inboxes);
     let barrier = Arc::new(PoisonBarrier::new(n_ranks));
     let error_flag = Arc::new(AtomicU64::new(0));
+    // Shared compile memo: chunk bytecode and comm-expression thunks are
+    // compiled at most once per shape, by whichever rank gets there first.
+    let bc_cache = build_bc_cache(dist);
+    let bc_cache = &bc_cache;
 
     let start = Instant::now();
     let results: Vec<Result<RankOutcome, DistError>> = crossbeam::thread::scope(|scope| {
@@ -521,8 +525,8 @@ pub fn run_with_opts(
             handles.push(scope.spawn(move |_| {
                 let result = catch_unwind(AssertUnwindSafe(|| {
                     run_rank(
-                        dist, rank, n_ranks, comm, opts, &senders, &inboxes, &barrier,
-                        &error_flag, init, finish,
+                        dist, rank, n_ranks, comm, opts, bc_cache, &senders, &inboxes,
+                        &barrier, &error_flag, init, finish,
                     )
                 }))
                 .unwrap_or_else(|payload| {
@@ -587,6 +591,73 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// One memoized compute chunk: the statements a rank executes for one
+/// [`DistStmt::Compute`] (preamble + chunk; the rank `let` is replaced
+/// by frame seeding so a single compile serves every rank), compiled
+/// lazily on first execution.
+struct ChunkEntry {
+    body: Vec<Stmt>,
+    cell: OnceLock<loopvm::Result<BcProgram>>,
+}
+
+/// Compilation memoized across rank threads: one optimized [`BcProgram`]
+/// per compute-chunk shape and one [`ScalarThunk`] per comm/conditional
+/// expression (send dest/offset/count, recv src/offset/count, `if`
+/// conditions). Keys are the addresses of the borrowed nodes inside the
+/// [`DistProgram`] — stable for the run's lifetime. Compilation is lazy
+/// (`OnceLock::get_or_init`, first rank to reach a site compiles), so a
+/// chunk no rank executes is never compiled and error timing matches the
+/// tree-walk path.
+struct BcCache {
+    chunks: HashMap<usize, ChunkEntry>,
+    exprs: HashMap<usize, OnceLock<loopvm::Result<ScalarThunk>>>,
+}
+
+fn addr_key<T>(t: &T) -> usize {
+    t as *const T as usize
+}
+
+fn build_bc_cache(dist: &DistProgram) -> BcCache {
+    fn walk(
+        body: &[DistStmt],
+        dist: &DistProgram,
+        chunks: &mut HashMap<usize, ChunkEntry>,
+        exprs: &mut HashMap<usize, OnceLock<loopvm::Result<ScalarThunk>>>,
+    ) {
+        for s in body {
+            match s {
+                DistStmt::Compute(stmts) => {
+                    let mut b = dist.preamble.clone();
+                    b.extend_from_slice(stmts);
+                    chunks.insert(
+                        addr_key(stmts),
+                        ChunkEntry { body: b, cell: OnceLock::new() },
+                    );
+                }
+                DistStmt::If { cond, body } => {
+                    exprs.insert(addr_key(cond), OnceLock::new());
+                    walk(body, dist, chunks, exprs);
+                }
+                DistStmt::Send { dest, offset, count, .. } => {
+                    exprs.insert(addr_key(dest), OnceLock::new());
+                    exprs.insert(addr_key(offset), OnceLock::new());
+                    exprs.insert(addr_key(count), OnceLock::new());
+                }
+                DistStmt::Recv { src, offset, count, .. } => {
+                    exprs.insert(addr_key(src), OnceLock::new());
+                    exprs.insert(addr_key(offset), OnceLock::new());
+                    exprs.insert(addr_key(count), OnceLock::new());
+                }
+                DistStmt::Barrier => {}
+            }
+        }
+    }
+    let mut chunks = HashMap::new();
+    let mut exprs = HashMap::new();
+    walk(&dist.body, dist, &mut chunks, &mut exprs);
+    BcCache { chunks, exprs }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn run_rank(
     dist: &DistProgram,
@@ -594,6 +665,7 @@ fn run_rank(
     n_ranks: usize,
     comm: &CommModel,
     opts: &RunOptions,
+    cache: &BcCache,
     senders: &[crossbeam::channel::Sender<Message>],
     inboxes: &[Mutex<Inbox>],
     barrier: &PoisonBarrier,
@@ -603,6 +675,11 @@ fn run_rank(
 ) -> Result<RankOutcome, DistError> {
     let mut machine = Machine::new(&dist.program);
     init(rank, &mut machine);
+    // The per-rank machine's exec mode (set by default policy or the
+    // `init` hook) selects the chunk executor: memoized optimized
+    // bytecode shared across ranks, or the tree-walk reference. Stats
+    // gathering needs the tree-walk's cost accounting.
+    let use_bc = machine.exec_mode() == loopvm::ExecMode::Bytecode && !opts.stats_mode;
     let mut compute = RunStats::default();
     let mut counters = RankCounters::default();
     let bindings = [(dist.rank_var, rank as i64)];
@@ -612,8 +689,21 @@ fn run_rank(
 
     let exec = |machine: &mut Machine,
                 compute: &mut RunStats,
-                stmts: &[Stmt]|
+                stmts: &Vec<Stmt>|
      -> loopvm::Result<()> {
+        if use_bc {
+            if let Some(entry) = cache.chunks.get(&addr_key(stmts)) {
+                // One compile per chunk shape, shared read-only across
+                // rank threads; the rank enters via the seeded frame.
+                let bc = entry
+                    .cell
+                    .get_or_init(|| loopvm::opt::compile_body(&dist.program, &entry.body));
+                return match bc {
+                    Ok(bc) => machine.run_bytecode_with_frame(bc, &bindings),
+                    Err(e) => Err(e.clone()),
+                };
+            }
+        }
         let mut body: Vec<Stmt> =
             vec![Stmt::let_(dist.rank_var, Expr::i64(rank as i64))];
         body.extend_from_slice(&dist.preamble);
@@ -631,6 +721,20 @@ fn run_rank(
         compute.l1_misses += s.l1_misses;
         compute.l2_misses += s.l2_misses;
         Ok(())
+    };
+
+    // Comm/conditional expressions: compiled once to integer thunks and
+    // reused per message in bytecode mode, tree-walked otherwise.
+    let scalar = |e: &Expr| -> loopvm::Result<i64> {
+        if use_bc {
+            if let Some(cell) = cache.exprs.get(&addr_key(e)) {
+                return match cell.get_or_init(|| ScalarThunk::compile(e)) {
+                    Ok(t) => Ok(t.eval(&bindings)),
+                    Err(err) => Err(err.clone()),
+                };
+            }
+        }
+        eval_scalar(&dist.program, e, &bindings)
     };
 
     // Iterative interpretation via an explicit work list of (slice, pos).
@@ -656,7 +760,7 @@ fn run_rank(
                 exec(&mut machine, &mut compute, stmts).map_err(vm)?;
             }
             DistStmt::If { cond, body: inner } => {
-                let c = eval_scalar(&dist.program, cond, &bindings).map_err(vm)?;
+                let c = scalar(cond).map_err(vm)?;
                 if c != 0 {
                     frames.push((inner, 0));
                 }
@@ -675,13 +779,13 @@ fn run_rank(
                 }
             },
             DistStmt::Send { dest, buf, offset, count, asynchronous } => {
-                let d = eval_scalar(&dist.program, dest, &bindings).map_err(vm)?;
+                let d = scalar(dest).map_err(vm)?;
                 if d < 0 || d as usize >= n_ranks {
                     continue;
                 }
                 let d = d as usize;
-                let off = eval_scalar(&dist.program, offset, &bindings).map_err(vm)?;
-                let cnt = eval_scalar(&dist.program, count, &bindings).map_err(vm)?;
+                let off = scalar(offset).map_err(vm)?;
+                let cnt = scalar(count).map_err(vm)?;
                 let data = machine.buffer(*buf);
                 let lo = off.max(0) as usize;
                 let hi = ((off + cnt).max(0) as usize).min(data.len());
@@ -699,12 +803,12 @@ fn run_rank(
                 )?;
             }
             DistStmt::Recv { src, buf, offset, count } => {
-                let s = eval_scalar(&dist.program, src, &bindings).map_err(vm)?;
+                let s = scalar(src).map_err(vm)?;
                 if s < 0 || s as usize >= n_ranks {
                     continue;
                 }
-                let off = eval_scalar(&dist.program, offset, &bindings).map_err(vm)?;
-                let cnt = eval_scalar(&dist.program, count, &bindings).map_err(vm)?;
+                let off = scalar(offset).map_err(vm)?;
+                let cnt = scalar(count).map_err(vm)?;
                 let deadline = Instant::now() + opts.watchdog;
                 let msg = inboxes[rank]
                     .lock()
@@ -897,6 +1001,47 @@ mod tests {
                 },
             ],
         }
+    }
+
+    #[test]
+    fn bytecode_chunks_match_tree_walk_bit_exact() {
+        // Same program, both executors, gathered outputs bit-compared.
+        let gather = |tree_walk: bool| -> Vec<u32> {
+            let prog = ring_program(4);
+            let out = Mutex::new(vec![vec![]; 4]);
+            run_with_opts(
+                &prog,
+                4,
+                &CommModel::default(),
+                &RunOptions::default(),
+                move |_rank, machine: &mut Machine| {
+                    if tree_walk {
+                        machine.set_exec_mode(loopvm::ExecMode::TreeWalk);
+                    }
+                },
+                |rank, machine: &Machine| {
+                    let data = machine.buffer(prog.program.nth_buffer(0));
+                    out.lock()[rank] = data.iter().map(|v| v.to_bits()).collect();
+                },
+            )
+            .unwrap();
+            let guard = out.lock();
+            guard.iter().flatten().copied().collect()
+        };
+        assert_eq!(gather(false), gather(true));
+    }
+
+    #[test]
+    fn bytecode_chunk_compiles_once_per_shape() {
+        // The memo map has exactly one entry per Compute chunk and one
+        // per comm expression; a 4-rank run forces each to compile at
+        // most once (shared read-only afterwards).
+        let prog = ring_program(4);
+        let cache = build_bc_cache(&prog);
+        assert_eq!(cache.chunks.len(), 1);
+        // send dest/offset/count + recv src/offset/count
+        assert_eq!(cache.exprs.len(), 6);
+        run(&prog, 4, &CommModel::default(), false).unwrap();
     }
 
     #[test]

@@ -279,6 +279,22 @@ proptest! {
             bufs[gm.buffer_index(out_name).unwrap()].iter().map(|v| v.to_bits()).collect();
         prop_assert_eq!(cpu_out, &gpu_out, "CPU vs GPU: {:?}", &alg);
 
+        // GPU lane: the default run above executed the stored warp
+        // bytecode; the tree-walk reference must agree on every buffer.
+        let mut tw_bufs = gm.alloc_buffers();
+        fill(&mut tw_bufs[gm.buffer_index("in").unwrap()], 7);
+        for k in &gm.kernels {
+            gpusim::launch_tree_walk(k, &mut tw_bufs, &gpusim::GpuModel::default()).unwrap();
+        }
+        for (b, (fast_buf, tw_buf)) in bufs.iter().zip(&tw_bufs).enumerate() {
+            let fast_bits: Vec<u32> = fast_buf.iter().map(|v| v.to_bits()).collect();
+            let tw_bits: Vec<u32> = tw_buf.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(
+                &fast_bits, &tw_bits,
+                "GPU bytecode vs tree-walk (buffer {}): {:?}", b, &alg
+            );
+        }
+
         // --- distributed backend --------------------------------------
         // Distribute the final stage's rows over 2 ranks; earlier stages
         // are computed redundantly per rank, so no communication is
@@ -317,6 +333,35 @@ proptest! {
             &cpu_out[..dist_out.len()],
             &dist_out[..],
             "CPU vs dist: {:?}", &alg
+        );
+
+        // Dist lane: rerun with every rank forced onto the tree-walk
+        // evaluator (the init hook flips the machine before the rank
+        // program starts, disabling the memoized chunk bytecode and the
+        // comm thunks alike); results must be bit-identical.
+        let gathered_tw = Mutex::new(vec![0u32; (chunk as usize) * RANKS * row_len]);
+        mpisim::run_with_opts(
+            &dm.dist,
+            RANKS,
+            &CommModel::default(),
+            &RunOptions::default(),
+            |_rank, machine| {
+                machine.set_exec_mode(loopvm::ExecMode::TreeWalk);
+                fill(machine.buffer_mut(dm.vm_buffer("in").unwrap()), 7);
+            },
+            |rank, machine| {
+                let vals = machine.buffer(out_buf);
+                let lo = rank * chunk as usize * row_len;
+                let n = chunk as usize * row_len;
+                let bits: Vec<u32> = vals[lo..lo + n].iter().map(|v| v.to_bits()).collect();
+                gathered_tw.lock().unwrap()[lo..lo + n].copy_from_slice(&bits);
+            },
+        )
+        .unwrap();
+        let dist_tw_out = gathered_tw.into_inner().unwrap();
+        prop_assert_eq!(
+            &dist_out, &dist_tw_out,
+            "dist bytecode vs tree-walk: {:?}", &alg
         );
     }
 }

@@ -5,7 +5,10 @@
 //!
 //! Regenerate with `TIRAMISU_BLESS=1 cargo test --test opt_golden`.
 
-use tiramisu::{compile_cpu, CompId, CpuOptions, Expr as E, Function};
+use tiramisu::{
+    compile_cpu, compile_dist, compile_gpu, CompId, CpuOptions, DistOptions, Expr as E, Function,
+    GpuOptions, Var,
+};
 
 fn golden_path(name: &str) -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -123,6 +126,77 @@ fn blur_bytecode_disassembly_is_pinned() {
     let stats = bc.stats();
     assert!(stats.hoisted > 0, "blur hoisted nothing: {}", stats.summary());
     assert!(stats.folded > 0, "blur folded nothing: {}", stats.summary());
+}
+
+#[test]
+fn gpu_kernel_bytecode_disassembly_is_pinned() {
+    // A shared-memory blur: `cache_shared_at` introduces a block barrier,
+    // so the kernel compiles to two warp-bytecode phases (cooperative
+    // copy, then compute) — both pinned.
+    let mut f = Function::new("gblur", &["N"]);
+    let i = f.var("i", 0, E::param("N"));
+    let j = f.var("j", 0, E::param("N"));
+    let input = f
+        .input(
+            "in",
+            &[
+                f.var("i", 0, E::param("N")),
+                f.var("j", 0, E::param("N") + E::i64(2)),
+            ],
+        )
+        .unwrap();
+    let at = |dj: i64| E::Access(input, vec![E::iter("i"), E::iter("j") + E::i64(dj)]);
+    let out = f
+        .computation("out", &[i, j], (at(0) + at(1) + at(2)) / E::f32(3.0))
+        .unwrap();
+    f.tile_gpu(out, "i", "j", 8, 8).unwrap();
+    f.cache_shared_at(input, out, "jB").unwrap();
+    let module = compile_gpu(&f, &[("N", 32)], GpuOptions::default()).unwrap();
+    let phases = module.bytecode(0).expect("GPU modules carry phase bytecode");
+    assert_eq!(phases.len(), 2, "barrier should split the kernel into two phases");
+    assert_golden(
+        "gpu_blur_bytecode",
+        &module.disasm().expect("GPU modules carry phase bytecode"),
+    );
+    // The compute phase re-reads overlapping shared-memory taps; CSE must
+    // collapse the repeated address math.
+    assert!(phases[1].stats().cse_hits > 0, "{}", phases[1].stats().summary());
+}
+
+#[test]
+fn dist_rank_chunk_bytecode_disassembly_is_pinned() {
+    // The paper's Figure 3(c) distributed blur with halo exchange (same
+    // Layer I as `crates/core`'s dist tests): the rank program has a
+    // parameter preamble (chunk 0) and one compute chunk.
+    let mut f = Function::new("dblur", &["Nodes", "CHUNK"]);
+    let r = f.var("r", 0, E::param("Nodes"));
+    let i = f.var("i", 0, E::param("CHUNK"));
+    let lin = f
+        .input("lin", &[f.var("i", 0, E::param("CHUNK") + E::i64(1))])
+        .unwrap();
+    let bx = f
+        .computation(
+            "bx",
+            &[r, i],
+            (f.access(lin, &[E::iter("i")]) + f.access(lin, &[E::iter("i") + E::i64(1)]))
+                / E::f32(2.0),
+        )
+        .unwrap();
+    f.distribute(bx, "r").unwrap();
+    let is = Var::new("is", E::i64(1), E::param("Nodes"));
+    let ir = Var::new("ir", E::i64(0), E::param("Nodes") - E::i64(1));
+    let s = f.send(is, "lin", E::i64(0), E::i64(1), E::iter("is") - E::i64(1), true);
+    let rv = f.receive(ir, "lin", E::param("CHUNK"), E::i64(1), E::iter("ir") + E::i64(1));
+    f.comm_before(s, bx);
+    f.comm_before(rv, bx);
+    let module =
+        compile_dist(&f, &[("Nodes", 4), ("CHUNK", 8)], DistOptions::default()).unwrap();
+    let chunks = module.bytecode().expect("dist modules carry chunk bytecode");
+    assert!(chunks.len() >= 2, "expected preamble + compute chunk, got {}", chunks.len());
+    assert_golden(
+        "dist_blur_bytecode",
+        &module.disasm().expect("dist modules carry chunk bytecode"),
+    );
 }
 
 /// The disassembly itself must stay faithful: running the pinned bytecode

@@ -504,8 +504,9 @@ fn folded_out_loads_still_trap() {
     assert_eq!(fast_r, reference.run(&p));
 }
 
-/// `Machine::run` caches compiled bytecode keyed by structural program
-/// equality: a cache hit reuses it, a mutated program recompiles.
+/// `Machine::run` caches compiled bytecode keyed by the program's
+/// precomputed fingerprint: a cache hit reuses it, a mutated program
+/// (rebuilt via `set_body`, which rehashes) recompiles.
 #[test]
 fn bytecode_cache_tracks_program_identity() {
     let mut p = Program::new();
@@ -523,9 +524,11 @@ fn bytecode_cache_tracks_program_identity() {
     assert_eq!(m.buffer(out), &[1.0, 1.0]);
     // Same machine, structurally different program: must recompile, not
     // replay the stale cache entry.
-    if let Stmt::For { body, .. } = &mut p.body[0] {
-        body[0] = Stmt::store(out, V::var(i), V::f32(2.0));
+    let mut body = p.body().to_vec();
+    if let Stmt::For { body: inner, .. } = &mut body[0] {
+        inner[0] = Stmt::store(out, V::var(i), V::f32(2.0));
     }
+    p.set_body(body);
     m.run(&p).unwrap();
     assert_eq!(m.buffer(out), &[2.0, 2.0]);
 }
