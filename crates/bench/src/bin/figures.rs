@@ -2,13 +2,19 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin figures -- all
-//! cargo run --release -p bench --bin figures -- fig1 table1 fig5 fig6 fig7
+//! cargo run --release -p bench --bin figures -- fig1 table1 fig5 fig6 fig7 profile
 //! ```
 //!
 //! `all` (or no argument) additionally writes `BENCH_figures.json` at the
 //! workspace root: a machine-readable snapshot of every figure. Modeled
 //! time is deterministic, so the snapshot is stable across hosts and is
 //! committed for drift tracking.
+//!
+//! `profile` runs the Figure 1 sgemm Tiramisu schedule under the
+//! bytecode profiler and prints the telemetry report; its deterministic
+//! counters (loop trip counts, instruction-class totals) are folded into
+//! the snapshot. With `TIRAMISU_PROFILE` set it additionally writes the
+//! Chrome trace (`TIRAMISU_PROFILE_OUT` or `figures.trace.json`).
 
 use bench::{default_img, fig1_cpu, fig1_gpu, fig5, fig6, fig7, normalized, render_table, table1};
 
@@ -187,6 +193,47 @@ fn main() {
             .map(|(n, sp)| (n, sp.into_iter().map(Some).collect()))
             .collect();
         sections.push(format!("  \"fig7_speedup_over_2_ranks\": {}", jrows(&fig7_rows)));
+    }
+
+    if want("profile") {
+        // Bytecode profile of the Figure 1 sgemm Tiramisu schedule.
+        // Profiling is forced on through the override (not the
+        // environment) so the section behaves identically under `all`;
+        // only the deterministic counters — loop trip counts and
+        // instruction-class totals — go into the snapshot, never
+        // wall-clock spans, so the committed JSON stays stable across
+        // hosts.
+        telemetry::set_profiling(Some(true));
+        let _ = telemetry::drain();
+        let prep = kernels::sgemm::tiramisu_best(96, 32).expect("sgemm compile");
+        prep.run_wall().expect("sgemm run");
+        let tl = telemetry::drain();
+        telemetry::set_profiling(None);
+        println!("== profile: sgemm CPU (Tiramisu, n=96, tile=32) ==");
+        print!("{}", tl.report());
+        let mut counters: std::collections::BTreeMap<String, f64> =
+            std::collections::BTreeMap::new();
+        for e in &tl.events {
+            if e.cat != "vm" {
+                continue;
+            }
+            let name = e.name.as_ref();
+            if name.ends_with(" iters") || name.starts_with("inst ") {
+                if let telemetry::EventKind::Counter { value } = e.kind {
+                    *counters.entry(name.to_string()).or_default() += value;
+                }
+            }
+        }
+        let pairs: Vec<(String, f64)> = counters.into_iter().collect();
+        sections.push(format!("  \"profile_sgemm\": {}", jbars(&pairs)));
+        if telemetry::env_flag("TIRAMISU_PROFILE") {
+            let path = std::env::var("TIRAMISU_PROFILE_OUT")
+                .ok()
+                .filter(|p| !p.is_empty())
+                .unwrap_or_else(|| "figures.trace.json".to_string());
+            tl.write_chrome(&path).expect("write trace");
+            eprintln!("wrote {path}");
+        }
     }
 
     if emit_json {

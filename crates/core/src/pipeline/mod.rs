@@ -114,6 +114,7 @@ impl PassManager {
         let t0 = Instant::now();
         pass.run(state)?;
         let wall = t0.elapsed();
+        telemetry::span_with_wall("compile", pass.name(), wall);
         if let Some(tr) = &mut self.trace {
             let (stmts, nodes) = pass.stats(state);
             tr.record(pass.name(), wall, stmts, nodes, pass.snapshot(state));
@@ -130,6 +131,7 @@ impl PassManager {
         stmts: usize,
         stats: impl FnOnce() -> (usize, String),
     ) {
+        telemetry::span_with_wall("compile", name, wall);
         if let Some(tr) = &mut self.trace {
             let (nodes, ir) = stats();
             tr.record(name, wall, stmts, nodes, ir);

@@ -25,17 +25,17 @@ pub fn snapshot_renders() -> u64 {
 }
 
 /// Whether tracing is on: the per-compile option, or the `TIRAMISU_TRACE`
-/// environment variable.
+/// environment variable (per [`telemetry::env_flag`] semantics).
 pub(crate) fn enabled(opt: bool) -> bool {
-    opt || std::env::var("TIRAMISU_TRACE").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+    opt || telemetry::env_flag("TIRAMISU_TRACE")
 }
 
 /// Whether the `optimize` pass records a full bytecode disassembly in its
 /// trace snapshot instead of the one-line stats summary. Off by default;
-/// enabled by the `TIRAMISU_DISASM` environment variable (any non-empty
-/// value other than `0`).
+/// enabled by the `TIRAMISU_DISASM` environment variable (per
+/// [`telemetry::env_flag`] semantics).
 pub(crate) fn disasm_enabled() -> bool {
-    std::env::var("TIRAMISU_DISASM").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+    telemetry::env_flag("TIRAMISU_DISASM")
 }
 
 /// One pipeline pass as observed by the trace.

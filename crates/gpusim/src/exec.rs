@@ -47,6 +47,38 @@ impl LaunchStats {
         self.divergent_branches += o.divergent_branches;
         self.warps += o.warps;
     }
+
+    /// Multi-line human-readable rendering (one metric per row), for
+    /// examples and observability demos.
+    #[must_use]
+    pub fn report(&self) -> String {
+        format!(
+            "gpu launch stats\n  modeled cycles      {:>14.0}\n  warps               {:>14}\n  warp instructions   {:>14}\n  global transactions {:>14}\n  shared accesses     {:>14}\n  bank-conflict cost  {:>14}\n  constant broadcasts {:>14}\n  divergent branches  {:>14}\n",
+            self.cycles,
+            self.warps,
+            self.warp_instructions,
+            self.global_transactions,
+            self.shared_accesses,
+            self.bank_conflict_degree,
+            self.constant_broadcasts,
+            self.divergent_branches
+        )
+    }
+}
+
+impl std::fmt::Display for LaunchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.0} cycles, {} warps, {} insts, {} gmem tx, {} smem, {} divergent",
+            self.cycles,
+            self.warps,
+            self.warp_instructions,
+            self.global_transactions,
+            self.shared_accesses,
+            self.divergent_branches
+        )
+    }
 }
 
 /// Allocates zeroed storage for every buffer of a kernel's program.
@@ -156,7 +188,7 @@ pub fn compile_phases(kernel: &Kernel) -> Result<Vec<BcProgram>> {
 }
 
 fn tree_walk_forced() -> bool {
-    matches!(std::env::var("GPUSIM_TREEWALK"), Ok(v) if !v.is_empty() && v != "0")
+    telemetry::env_flag("GPUSIM_TREEWALK")
 }
 
 /// Seeds per-warp variable frames and active masks for one block.
@@ -407,6 +439,13 @@ pub fn launch_bytecode(
     let mut sm_cycles = vec![0.0f64; model.sms.max(1)];
     let mut total = LaunchStats::default();
 
+    // Per-kernel-phase profile, aggregated across blocks and warps
+    // (the launch iterates blocks outermost). Allocated only under
+    // `TIRAMISU_PROFILE`.
+    let _sp = telemetry::span("gpu", "launch");
+    let mut prof: Option<Vec<PhaseProf>> = telemetry::profile_enabled()
+        .then(|| vec![PhaseProf::default(); phases.len()]);
+
     let n_warps = threads.div_ceil(WARP);
     for block_id in 0..kernel.n_blocks() {
         let bx = block_id as i64 % kernel.grid[0];
@@ -422,7 +461,8 @@ pub fn launch_bytecode(
         let (mut warp_vars, warp_masks) = seed_warps(kernel, threads, n_warps, bx, by);
         // Barrier semantics: every warp finishes phase k before any warp
         // starts phase k+1.
-        for phase in phases {
+        for (pi, phase) in phases.iter().enumerate() {
+            let phase_t0 = prof.is_some().then(std::time::Instant::now);
             for w in 0..n_warps {
                 let mut host = BcHost {
                     model,
@@ -432,9 +472,26 @@ pub fn launch_bytecode(
                     stats: LaunchStats::default(),
                     cycles: 0.0,
                 };
-                loopvm::exec_warp(phase, &mut warp_vars[w], &warp_masks[w], &mut host)?;
+                match prof.as_deref_mut() {
+                    Some(pp) => loopvm::exec_warp_profiled(
+                        phase,
+                        &mut warp_vars[w],
+                        &warp_masks[w],
+                        &mut host,
+                        &mut pp[pi].classes,
+                    )?,
+                    None => {
+                        loopvm::exec_warp(phase, &mut warp_vars[w], &warp_masks[w], &mut host)?;
+                    }
+                }
+                if let Some(pp) = prof.as_deref_mut() {
+                    pp[pi].stats.add(&host.stats);
+                }
                 block_cycles += host.cycles;
                 total.add(&host.stats);
+            }
+            if let (Some(t0), Some(pp)) = (phase_t0, prof.as_deref_mut()) {
+                pp[pi].wall += t0.elapsed();
             }
         }
         total.warps += n_warps as u64;
@@ -443,7 +500,45 @@ pub fn launch_bytecode(
         sm_cycles[sm] += block_cycles;
     }
     total.cycles = sm_cycles.iter().cloned().fold(0.0, f64::max);
+    if let Some(pp) = prof {
+        emit_phase_prof(&pp);
+    }
     Ok(total)
+}
+
+/// Per-phase profile accumulated by the profiling launch path: wall time
+/// across all blocks, divergence/coalescing statistics and
+/// instruction-class totals.
+#[derive(Debug, Clone, Default)]
+struct PhaseProf {
+    wall: std::time::Duration,
+    stats: LaunchStats,
+    classes: loopvm::InstClassCounts,
+}
+
+/// Emits one span per kernel phase (wall time summed over every block's
+/// execution of that phase) plus divergence/coalescing counters and the
+/// warp instruction-class profile.
+fn emit_phase_prof(phases: &[PhaseProf]) {
+    for (pi, p) in phases.iter().enumerate() {
+        telemetry::span_with_wall("gpu", format!("phase {pi}"), p.wall);
+        telemetry::counter("gpu", format!("phase {pi} divergent"), p.stats.divergent_branches as f64);
+        telemetry::counter(
+            "gpu",
+            format!("phase {pi} gmem tx"),
+            p.stats.global_transactions as f64,
+        );
+        telemetry::counter(
+            "gpu",
+            format!("phase {pi} bank conflicts"),
+            p.stats.bank_conflict_degree as f64,
+        );
+        for (class, n) in p.classes.iter() {
+            if n > 0 {
+                telemetry::counter("gpu", format!("phase {pi} inst {class}"), n as f64);
+            }
+        }
+    }
 }
 
 fn exec_block(body: &[GStmt], ctx: &mut WarpCtx<'_>, mask: [bool; WARP]) -> Result<()> {

@@ -96,6 +96,18 @@ impl Inst {
         )
     }
 
+    /// Coarse class index for the profiler (see [`InstClassCounts`]).
+    pub(crate) fn class(&self) -> usize {
+        match *self {
+            Inst::ConstI { .. } | Inst::ConstF { .. } => 0,
+            Inst::ReadVar { .. } => 1,
+            Inst::Load { .. } => 2,
+            Inst::BinI { .. } | Inst::CmpI { .. } | Inst::UnI { .. } | Inst::SelI { .. } => 3,
+            Inst::BinF { .. } | Inst::CmpF { .. } | Inst::UnF { .. } | Inst::SelF { .. } => 4,
+            Inst::CastIF { .. } | Inst::CastFI { .. } => 5,
+        }
+    }
+
     /// Source registers with their files (up to three).
     pub(crate) fn srcs(&self) -> [Option<(File, Reg)>; 3] {
         match *self {
@@ -185,6 +197,51 @@ pub(crate) enum BcStmt {
     },
 }
 
+/// Human-readable labels for the instruction classes of
+/// [`InstClassCounts`], indexed by `Inst::class`.
+const CLASS_NAMES: [&str; 6] = ["const", "readvar", "load", "int-alu", "fp-alu", "cast"];
+
+/// Dynamic per-instruction-class execution counts, gathered by the
+/// profiling interpreters (the CPU bytecode executor and the GPU warp
+/// executor) when `TIRAMISU_PROFILE` is on. Classes are coarse on
+/// purpose — they answer "is this schedule arithmetic-bound or
+/// load-bound", not "which opcode ran".
+///
+/// In vectorized loops and warp execution one count covers one *dispatch*
+/// (a whole lane group / warp), mirroring how the executors amortize
+/// interpretation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstClassCounts {
+    counts: [u64; 6],
+}
+
+impl InstClassCounts {
+    /// Counts every instruction of a straight-line block.
+    pub(crate) fn count(&mut self, insts: &[Inst]) {
+        for i in insts {
+            self.counts[i.class()] += 1;
+        }
+    }
+
+    /// Merges another profile (worker threads merge into their parent).
+    pub fn merge(&mut self, o: &InstClassCounts) {
+        for (a, b) in self.counts.iter_mut().zip(&o.counts) {
+            *a += b;
+        }
+    }
+
+    /// Total dispatches across all classes.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterates `(class label, count)` pairs in a fixed order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        CLASS_NAMES.iter().copied().zip(self.counts.iter().copied())
+    }
+}
+
 /// Counters describing what the optimizer did to one program.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OptStats {
@@ -240,6 +297,9 @@ pub struct BcProgram {
     pub(crate) n_fregs: u16,
     /// Number of variable frame slots.
     pub(crate) n_vars: usize,
+    /// Source variable names (by frame slot), carried so the profiler can
+    /// label hot loops with their schedule-level names.
+    pub(crate) var_names: Vec<String>,
     /// What the optimizer did.
     pub(crate) stats: OptStats,
 }

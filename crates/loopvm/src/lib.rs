@@ -53,11 +53,11 @@ pub mod program;
 pub mod simt;
 pub mod vm;
 
-pub use bytecode::{BcProgram, OptStats};
+pub use bytecode::{BcProgram, InstClassCounts, OptStats};
 pub use cost::{CacheCfg, CacheSim, CostModel};
 pub use expr::{BinOp, Expr, Ty, UnOp, Var};
 pub use program::{BufId, LoopKind, Program, Stmt};
-pub use simt::{exec_warp, WarpHost};
+pub use simt::{exec_warp, exec_warp_profiled, WarpHost};
 pub use vm::{compile, eval_scalar, Code, ExecMode, Machine, Op, RunStats, ScalarThunk};
 
 /// Errors produced when compiling or executing a program.

@@ -89,6 +89,7 @@ pub fn compile_body(p: &Program, body: &[Stmt]) -> Result<BcProgram> {
         n_iregs: em.n_iregs,
         n_fregs: em.n_fregs,
         n_vars: p.n_vars(),
+        var_names: p.vars.clone(),
         stats: em.stats,
     };
     dce(&mut bc);

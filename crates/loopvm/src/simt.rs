@@ -38,7 +38,7 @@
 //! non-trapping instructions, and mask monotonicity guarantees any lane
 //! that later consumes the value was already active at the hoist point.
 
-use crate::bytecode::{BcProgram, BcStmt, Inst};
+use crate::bytecode::{BcProgram, BcStmt, Inst, InstClassCounts};
 use crate::vm::{apply_f, apply_i, apply_un_f, apply_un_i, cmp_f, cmp_i};
 use crate::expr::UnOp;
 use crate::Result;
@@ -82,6 +82,9 @@ struct WarpCtx<'a, const W: usize, H: WarpHost<W>> {
     fr: Vec<[f32; W]>,
     vars: &'a mut [[i64; W]],
     host: &'a mut H,
+    /// Instruction-class profile, present only on the
+    /// [`exec_warp_profiled`] entry point (one count per warp dispatch).
+    classes: Option<&'a mut InstClassCounts>,
 }
 
 /// `regs[dst][l] = f(regs[a][l], regs[b][l])` for every lane, without
@@ -183,6 +186,34 @@ pub fn exec_warp<const W: usize, H: WarpHost<W>>(
         fr: vec![[0f32; W]; bc.n_fregs as usize],
         vars,
         host,
+        classes: None,
+    };
+    run_insts(&bc.prologue, mask, &mut ctx)?;
+    exec_block(&bc.body, mask, &mut ctx)
+}
+
+/// [`exec_warp`] with per-instruction-class profiling: every dispatched
+/// instruction is additionally tallied into `classes` (one count per warp
+/// dispatch, the same granularity as [`WarpHost::issue`]). The GPU
+/// simulator uses this entry point when `TIRAMISU_PROFILE` is on; the
+/// unprofiled path is untouched.
+///
+/// # Errors
+///
+/// Same as [`exec_warp`].
+pub fn exec_warp_profiled<const W: usize, H: WarpHost<W>>(
+    bc: &BcProgram,
+    vars: &mut [[i64; W]],
+    mask: &[bool; W],
+    host: &mut H,
+    classes: &mut InstClassCounts,
+) -> Result<()> {
+    let mut ctx = WarpCtx {
+        ir: vec![[0i64; W]; bc.n_iregs as usize],
+        fr: vec![[0f32; W]; bc.n_fregs as usize],
+        vars,
+        host,
+        classes: Some(classes),
     };
     run_insts(&bc.prologue, mask, &mut ctx)?;
     exec_block(&bc.body, mask, &mut ctx)
@@ -193,6 +224,9 @@ fn run_insts<const W: usize, H: WarpHost<W>>(
     mask: &[bool; W],
     ctx: &mut WarpCtx<'_, W, H>,
 ) -> Result<()> {
+    if let Some(c) = ctx.classes.as_deref_mut() {
+        c.count(insts);
+    }
     // Fully-active warps (the common case away from boundary blocks) take
     // branch-free per-lane loops the compiler can vectorize.
     let full = mask.iter().all(|&m| m);

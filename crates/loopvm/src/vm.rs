@@ -12,7 +12,7 @@
 //!   lanes of [`LANES`] iterations at once, amortizing interpreter dispatch
 //!   the way SIMD amortizes instruction issue.
 
-use crate::bytecode::{BCode, BcProgram, BcStmt, Inst};
+use crate::bytecode::{BCode, BcProgram, BcStmt, Inst, InstClassCounts};
 use crate::cost::{CacheSim, CostModel};
 use crate::expr::{BinOp, Expr, Ty, UnOp};
 use crate::program::{BufId, LoopKind, Program, Stmt};
@@ -54,6 +54,38 @@ impl RunStats {
         self.cycles += o.cycles;
         self.l1_misses += o.l1_misses;
         self.l2_misses += o.l2_misses;
+    }
+
+    /// Multi-line human-readable rendering (one metric per row), for
+    /// examples and observability demos.
+    #[must_use]
+    pub fn report(&self) -> String {
+        format!(
+            "cpu run stats\n  modeled cycles   {:>14.0}\n  iterations       {:>14}\n  flops            {:>14}\n  loads            {:>14}\n  stores           {:>14}\n  L1 misses        {:>14}\n  L2 misses        {:>14}\n",
+            self.cycles,
+            self.iterations,
+            self.flops,
+            self.loads,
+            self.stores,
+            self.l1_misses,
+            self.l2_misses
+        )
+    }
+}
+
+impl std::fmt::Display for RunStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.0} cycles, {} iters, {} flops, {} loads, {} stores, {} L1m, {} L2m",
+            self.cycles,
+            self.iterations,
+            self.flops,
+            self.loads,
+            self.stores,
+            self.l1_misses,
+            self.l2_misses
+        )
     }
 }
 
@@ -471,6 +503,7 @@ impl Machine {
     ///
     /// Out-of-bounds accesses at runtime.
     pub fn run_bytecode(&mut self, bc: &BcProgram) -> Result<()> {
+        let _sp = telemetry::span("vm", "run_bytecode");
         let mut ctx = BcCtx {
             bufs: &self.bufs,
             threads: self.threads,
@@ -481,9 +514,14 @@ impl Machine {
             vfr: vec![[0f32; LANES]; bc.n_fregs as usize],
             vset: vec![false; bc.n_iregs as usize],
             vfset: vec![false; bc.n_fregs as usize],
+            prof: telemetry::profile_enabled().then(Box::<BcProf>::default),
         };
-        bc_run_insts(&bc.prologue, &mut ctx)?;
-        bc_exec_block(&bc.body, &mut ctx)
+        let r = bc_run_insts(&bc.prologue, &mut ctx)
+            .and_then(|()| bc_exec_block(&bc.body, &mut ctx));
+        if let Some(p) = ctx.prof.take() {
+            p.emit(&bc.var_names);
+        }
+        r
     }
 
     /// Like [`Machine::run_bytecode`], but seeds the variable frame with
@@ -503,6 +541,7 @@ impl Machine {
         bc: &BcProgram,
         seed: &[(crate::expr::Var, i64)],
     ) -> Result<()> {
+        let _sp = telemetry::span("vm", "run_bytecode");
         let mut frame = vec![0i64; bc.n_vars];
         for (v, val) in seed {
             frame[v.index()] = *val;
@@ -517,9 +556,14 @@ impl Machine {
             vfr: vec![[0f32; LANES]; bc.n_fregs as usize],
             vset: vec![false; bc.n_iregs as usize],
             vfset: vec![false; bc.n_fregs as usize],
+            prof: telemetry::profile_enabled().then(Box::<BcProf>::default),
         };
-        bc_run_insts(&bc.prologue, &mut ctx)?;
-        bc_exec_block(&bc.body, &mut ctx)
+        let r = bc_run_insts(&bc.prologue, &mut ctx)
+            .and_then(|()| bc_exec_block(&bc.body, &mut ctx));
+        if let Some(p) = ctx.prof.take() {
+            p.emit(&bc.var_names);
+        }
+        r
     }
 
     /// Runs the program, gathering [`RunStats`] (slower; for tests, cost
@@ -600,9 +644,10 @@ fn default_threads() -> usize {
 }
 
 fn default_exec_mode() -> ExecMode {
-    match std::env::var("LOOPVM_TREEWALK") {
-        Ok(v) if !v.is_empty() && v != "0" => ExecMode::TreeWalk,
-        _ => ExecMode::Bytecode,
+    if telemetry::env_flag("LOOPVM_TREEWALK") {
+        ExecMode::TreeWalk
+    } else {
+        ExecMode::Bytecode
     }
 }
 
@@ -1307,9 +1352,78 @@ struct BcCtx<'a> {
     vfr: Vec<[f32; LANES]>,
     vset: Vec<bool>,
     vfset: Vec<bool>,
+    /// Bytecode profile, present only under `TIRAMISU_PROFILE` — the off
+    /// path pays one `Option` check per statement block, never an
+    /// allocation.
+    prof: Option<Box<BcProf>>,
+}
+
+/// Every how many entries of a given loop statement one execution is
+/// wall-timed. Sampling keeps the profiled path from drowning tight
+/// inner loops in clock reads; totals are scaled back up at emission.
+const PROF_SAMPLE_PERIOD: u64 = 16;
+
+/// Per-loop profile: how often a `For` statement was entered, total trip
+/// count, and a sampled wall-time estimate.
+#[derive(Default)]
+struct LoopProf {
+    entries: u64,
+    iters: u64,
+    sampled: u64,
+    sampled_ns: u64,
+}
+
+/// The bytecode profiler state carried by a profiling execution
+/// (per-loop attribution plus instruction-class totals).
+#[derive(Default)]
+struct BcProf {
+    loops: std::collections::HashMap<u32, LoopProf>,
+    classes: InstClassCounts,
+}
+
+impl BcProf {
+    fn merge(&mut self, o: &BcProf) {
+        for (var, lp) in &o.loops {
+            let dst = self.loops.entry(*var).or_default();
+            dst.entries += lp.entries;
+            dst.iters += lp.iters;
+            dst.sampled += lp.sampled;
+            dst.sampled_ns += lp.sampled_ns;
+        }
+        self.classes.merge(&o.classes);
+    }
+
+    /// Emits the profile as telemetry counters, labelling loops with
+    /// their source variable names. `est_us` counters scale the sampled
+    /// wall time back to the full entry count and are inclusive (an
+    /// outer loop's estimate contains its inner loops').
+    fn emit(&self, var_names: &[String]) {
+        let mut loops: Vec<_> = self.loops.iter().collect();
+        loops.sort_by_key(|(v, _)| **v);
+        for (v, lp) in loops {
+            let name = var_names
+                .get(*v as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("v{v}"));
+            telemetry::counter("vm", format!("loop {name} iters"), lp.iters as f64);
+            if lp.sampled > 0 {
+                let est_us = (lp.sampled_ns as f64 / 1000.0)
+                    * (lp.entries as f64 / lp.sampled as f64);
+                telemetry::counter("vm", format!("loop {name} est_us"), est_us);
+            }
+        }
+        for (class, n) in self.classes.iter() {
+            if n > 0 {
+                telemetry::counter("vm", format!("inst {class}"), n as f64);
+            }
+        }
+    }
 }
 
 fn bc_run_insts(insts: &[Inst], ctx: &mut BcCtx<'_>) -> Result<()> {
+    if let Some(p) = ctx.prof.as_deref_mut() {
+        p.classes.count(insts);
+    }
     for inst in insts {
         match *inst {
             Inst::ConstI { dst, v } => ctx.ir[dst as usize] = v,
@@ -1394,7 +1508,18 @@ fn bc_exec_stmt(s: &BcStmt, ctx: &mut BcCtx<'_>) -> Result<()> {
         BcStmt::For { var, lower, upper, kind, preamble, body } => {
             let lo = bc_eval_bound(lower, ctx)?;
             let hi = bc_eval_bound(upper, ctx)?;
-            match kind {
+            // Per-loop attribution: count every entry and trip, wall-time
+            // one entry in PROF_SAMPLE_PERIOD.
+            let sample_t0 = match ctx.prof.as_deref_mut() {
+                Some(p) => {
+                    let lp = p.loops.entry(*var).or_default();
+                    lp.entries += 1;
+                    lp.iters += (hi - lo).max(0) as u64;
+                    (lp.entries % PROF_SAMPLE_PERIOD == 1).then(std::time::Instant::now)
+                }
+                None => None,
+            };
+            let r = match kind {
                 LoopKind::Parallel if ctx.threads > 1 && hi - lo > 1 => {
                     bc_exec_parallel(*var, lo, hi, preamble, body, ctx)
                 }
@@ -1409,7 +1534,13 @@ fn bc_exec_stmt(s: &BcStmt, ctx: &mut BcCtx<'_>) -> Result<()> {
                     }
                     Ok(())
                 }
+            };
+            if let (Some(t0), Some(p)) = (sample_t0, ctx.prof.as_deref_mut()) {
+                let lp = p.loops.entry(*var).or_default();
+                lp.sampled += 1;
+                lp.sampled_ns += t0.elapsed().as_nanos() as u64;
             }
+            r
         }
     }
 }
@@ -1433,6 +1564,7 @@ fn bc_exec_parallel(
     let frame_proto = &ctx.frame;
     let ir_proto = &ctx.ir;
     let fr_proto = &ctx.fr;
+    let profiled = ctx.prof.is_some();
     let results = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
@@ -1441,7 +1573,7 @@ fn bc_exec_parallel(
             if start >= end {
                 continue;
             }
-            handles.push(scope.spawn(move |_| -> Result<()> {
+            handles.push(scope.spawn(move |_| -> (Result<()>, Option<Box<BcProf>>) {
                 let mut sub = BcCtx {
                     bufs,
                     // Nested parallel loops run serially inside a worker.
@@ -1453,22 +1585,39 @@ fn bc_exec_parallel(
                     vfr: vec![[0f32; LANES]; fr_proto.len()],
                     vset: vec![false; ir_proto.len()],
                     vfset: vec![false; fr_proto.len()],
+                    // Workers profile into a private state merged into the
+                    // parent after the join.
+                    prof: profiled.then(Box::<BcProf>::default),
                 };
+                let mut r = Ok(());
                 for v in start..end {
                     sub.frame[var as usize] = v;
-                    bc_run_insts(preamble, &mut sub)?;
-                    bc_exec_block(body, &mut sub)?;
+                    if let Err(e) = bc_run_insts(preamble, &mut sub)
+                        .and_then(|()| bc_exec_block(body, &mut sub))
+                    {
+                        r = Err(e);
+                        break;
+                    }
                 }
-                Ok(())
+                (r, sub.prof.take())
             }));
         }
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect::<Vec<_>>()
     })
     .expect("thread scope failed");
-    for r in results {
-        r?;
+    let mut first_err = None;
+    for (r, p) in results {
+        if let (Some(dst), Some(src)) = (ctx.prof.as_deref_mut(), p) {
+            dst.merge(&src);
+        }
+        if first_err.is_none() {
+            first_err = r.err();
+        }
     }
-    Ok(())
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 /// Mirror of [`body_vectorizable`] for the optimized format.
@@ -1561,6 +1710,11 @@ fn bc_run_vector_insts(
     base: i64,
     ctx: &mut BcCtx<'_>,
 ) -> Result<()> {
+    // One count per lane-group dispatch, mirroring how the vector path
+    // amortizes interpretation.
+    if let Some(p) = ctx.prof.as_deref_mut() {
+        p.classes.count(insts);
+    }
     for inst in insts {
         match *inst {
             Inst::ConstI { dst, v } => {

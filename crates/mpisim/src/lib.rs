@@ -251,6 +251,52 @@ impl DistStats {
     pub fn total_drops(&self) -> u64 {
         self.drops.iter().sum()
     }
+
+    /// Multi-line per-rank breakdown: compute/comm cycles, wire traffic
+    /// and fault-recovery counts, one row per rank plus the cluster
+    /// summary line ([`std::fmt::Display`]).
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("dist run stats\n");
+        let _ = writeln!(
+            out,
+            "  {:>4} {:>14} {:>14} {:>8} {:>12} {:>7} {:>6} {:>7} {:>7}",
+            "rank", "compute(cy)", "comm(cy)", "msgs", "bytes", "retry", "drop", "redlv", "corrupt"
+        );
+        for r in 0..self.compute.len() {
+            let _ = writeln!(
+                out,
+                "  {:>4} {:>14.0} {:>14.0} {:>8} {:>12} {:>7} {:>6} {:>7} {:>7}",
+                r,
+                self.compute[r].cycles,
+                self.comm_cycles.get(r).copied().unwrap_or(0.0),
+                self.messages.get(r).copied().unwrap_or(0),
+                self.bytes_sent.get(r).copied().unwrap_or(0),
+                self.retries.get(r).copied().unwrap_or(0),
+                self.drops.get(r).copied().unwrap_or(0),
+                self.redeliveries.get(r).copied().unwrap_or(0),
+                self.corrupt_dropped.get(r).copied().unwrap_or(0),
+            );
+        }
+        let _ = writeln!(out, "  {self}");
+        out
+    }
+}
+
+impl std::fmt::Display for DistStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ranks, {:.0} modeled cycles, {} msgs, {} bytes, {} retries, {} drops, wall {:.3}ms",
+            self.compute.len(),
+            self.modeled_cycles,
+            self.messages.iter().sum::<u64>(),
+            self.bytes_sent.iter().sum::<u64>(),
+            self.total_retries(),
+            self.total_drops(),
+            self.wall.as_secs_f64() * 1e3,
+        )
+    }
 }
 
 /// Execution options for [`run_with_opts`].
@@ -514,6 +560,7 @@ pub fn run_with_opts(
     let bc_cache = build_bc_cache(dist);
     let bc_cache = &bc_cache;
 
+    let _sp = telemetry::span("dist", "cluster run");
     let start = Instant::now();
     let results: Vec<Result<RankOutcome, DistError>> = crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n_ranks);
@@ -673,6 +720,12 @@ fn run_rank(
     init: &(impl Fn(usize, &mut Machine) + Sync),
     finish: &(impl Fn(usize, &Machine) + Sync),
 ) -> Result<RankOutcome, DistError> {
+    // Read enablement once per rank: statement arms are hot, and the
+    // guard keeps the off path to a single bool test per statement.
+    let prof = telemetry::profile_enabled();
+    if prof {
+        telemetry::set_thread_name(format!("rank {rank}"));
+    }
     let mut machine = Machine::new(&dist.program);
     init(rank, &mut machine);
     // The per-rank machine's exec mode (set by default policy or the
@@ -757,6 +810,7 @@ fn run_rank(
         step += 1;
         match &body[pos] {
             DistStmt::Compute(stmts) => {
+                let _sp = prof.then(|| telemetry::span("dist", "compute"));
                 exec(&mut machine, &mut compute, stmts).map_err(vm)?;
             }
             DistStmt::If { cond, body: inner } => {
@@ -765,20 +819,24 @@ fn run_rank(
                     frames.push((inner, 0));
                 }
             }
-            DistStmt::Barrier => match barrier.wait(opts.watchdog) {
-                BarrierWait::Released => {}
-                BarrierWait::Poisoned => {
-                    return Err(DistError::Cancelled { rank });
+            DistStmt::Barrier => {
+                let _sp = prof.then(|| telemetry::span("dist", "barrier"));
+                match barrier.wait(opts.watchdog) {
+                    BarrierWait::Released => {}
+                    BarrierWait::Poisoned => {
+                        return Err(DistError::Cancelled { rank });
+                    }
+                    BarrierWait::TimedOut => {
+                        return Err(DistError::Deadlock {
+                            rank,
+                            waiting_on: WaitingOn::Barrier,
+                            step: step - 1,
+                        });
+                    }
                 }
-                BarrierWait::TimedOut => {
-                    return Err(DistError::Deadlock {
-                        rank,
-                        waiting_on: WaitingOn::Barrier,
-                        step: step - 1,
-                    });
-                }
-            },
+            }
             DistStmt::Send { dest, buf, offset, count, asynchronous } => {
+                let _sp = prof.then(|| telemetry::span("dist", "send"));
                 let d = scalar(dest).map_err(vm)?;
                 if d < 0 || d as usize >= n_ranks {
                     continue;
@@ -794,6 +852,9 @@ fn run_rank(
                     payload.extend_from_slice(&v.to_le_bytes());
                 }
                 let payload = payload.freeze();
+                if prof {
+                    telemetry::counter("dist", "send bytes", payload.len() as f64);
+                }
                 let seq_slot = seqs.entry(d).or_insert(0);
                 let seq = *seq_slot;
                 *seq_slot += 1;
@@ -803,6 +864,7 @@ fn run_rank(
                 )?;
             }
             DistStmt::Recv { src, buf, offset, count } => {
+                let _sp = prof.then(|| telemetry::span("dist", "recv"));
                 let s = scalar(src).map_err(vm)?;
                 if s < 0 || s as usize >= n_ranks {
                     continue;
@@ -875,12 +937,14 @@ fn transmit(
                 // Lost in transit: the wire time was spent, nothing
                 // arrives.
                 counters.drops += 1;
+                telemetry::instant("fault", "drop");
                 true
             }
             Fault::Corrupt => {
                 // Deliver a tampered copy (correct checksum field, flipped
                 // payload byte) so the receiver's verification genuinely
                 // runs; it will discard and we retransmit.
+                telemetry::instant("fault", "corrupt");
                 let mut bad = BytesMut::with_capacity(nbytes);
                 bad.extend_from_slice(payload);
                 if !bad.is_empty() {
@@ -898,6 +962,7 @@ fn transmit(
             }
             Fault::None | Fault::Delay | Fault::Duplicate => {
                 if fault == Fault::Delay {
+                    telemetry::instant("fault", "delay");
                     if let Some(p) = opts.faults.as_ref() {
                         counters.comm_cycles += p.delay_cycles;
                     }
@@ -917,6 +982,7 @@ fn transmit(
                 });
                 if fault == Fault::Duplicate {
                     // A second good copy; the receiver's dedupe drops it.
+                    telemetry::instant("fault", "duplicate");
                     counters.bytes_sent += nbytes as u64;
                     counters.messages += 1;
                     counters.comm_cycles += wire_cost;
@@ -946,6 +1012,7 @@ fn transmit(
             return Ok(());
         }
         counters.retries += 1;
+        telemetry::instant("fault", "retry");
         counters.comm_cycles += opts.retry.backoff_cycles(attempt);
         attempt += 1;
         if attempt >= opts.retry.max_attempts {

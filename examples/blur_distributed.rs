@@ -77,15 +77,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         },
     )?;
-    for rank in 0..nodes as usize {
-        println!(
-            "rank {rank}: {:>6} stores, {:>4} bytes sent, comm {:>6.0} cycles, compute {:>8.0} cycles",
-            stats.compute[rank].stores,
-            stats.bytes_sent[rank],
-            stats.comm_cycles[rank],
-            stats.compute[rank].cycles,
-        );
-    }
+    print!("{}", stats.report());
     println!("cluster modeled time: {:.0} cycles", stats.modeled_cycles);
+    // With TIRAMISU_PROFILE=1 the compile passes, per-rank comm spans and
+    // bytecode hot-loop counters all land in one Chrome trace. The stats
+    // run above tree-walks its compute chunks (that's what the cost model
+    // needs), so add one fast-path run to profile the rank bytecode too.
+    if telemetry::profile_enabled() {
+        mpisim::run_with_init(
+            &module.dist,
+            nodes as usize,
+            &mpisim::CommModel::default(),
+            false,
+            |_rank, machine| {
+                for (k, v) in machine.buffer_mut(lin_buf).iter_mut().enumerate() {
+                    *v = (k % 255) as f32;
+                }
+            },
+        )?;
+    }
+    if let Some(path) = telemetry::export_if_enabled("blur_distributed.trace.json") {
+        eprintln!("profile trace written to {}", path.display());
+    }
     Ok(())
 }

@@ -71,10 +71,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let run = module.run(&mut bufs, &gpusim::GpuModel::default())?;
         let k = &run.kernels[0];
-        println!(
-            "{label:24} cycles {:>9.0}  global txns {:>6}  shared accesses {:>6}  divergence {}",
-            run.total_cycles, k.global_transactions, k.shared_accesses, k.divergent_branches
-        );
+        println!("{label:24} total cycles {:>9.0}  kernel: {k}", run.total_cycles);
+    }
+    // The full per-metric breakdown of the last variant's launch.
+    let module = build_opts(false, true)?;
+    let mut bufs = module.alloc_buffers();
+    let idx = module.buffer_index("in").unwrap();
+    for (k, v) in bufs[idx].iter_mut().enumerate() {
+        *v = (k % 255) as f32;
+    }
+    let run = module.run(&mut bufs, &gpusim::GpuModel::default())?;
+    print!("{}", run.kernels[0].report());
+    if let Some(path) = telemetry::export_if_enabled("blur_gpu.trace.json") {
+        eprintln!("profile trace written to {}", path.display());
     }
     Ok(())
 }

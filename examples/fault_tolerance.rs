@@ -77,21 +77,17 @@ fn run(
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = build(true, true)?;
     let (clean, reference) = run(&module, &RunOptions::default())?;
-    println!("fault-free: {:>6.0} comm cycles, {} retries", clean.comm_cycles.iter().sum::<f64>(), clean.total_retries());
+    println!("fault-free: {clean}");
 
     // Drops, corruption and duplication heal through seq+checksum+retry.
     let plan = FaultPlan::new(11).with_drop(0.3).with_corrupt(0.1).with_duplicate(0.2);
     let opts = RunOptions { faults: Some(plan), ..RunOptions::default() };
     let (faulty, snaps) = run(&module, &opts)?;
     println!(
-        "faulty:     {:>6.0} comm cycles, {} retries, {} drops, {} redeliveries, {} corrupt — output {}",
-        faulty.comm_cycles.iter().sum::<f64>(),
-        faulty.total_retries(),
-        faulty.total_drops(),
-        faulty.redeliveries.iter().sum::<u64>(),
-        faulty.corrupt_dropped.iter().sum::<u64>(),
+        "faulty:     output {}",
         if snaps == reference { "bit-identical" } else { "DIVERGED" },
     );
+    print!("{}", faulty.report());
     assert_eq!(snaps, reference);
 
     // A dead link exhausts the retry budget -> structured error, no hang.

@@ -60,11 +60,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let by_buf = module.vm_buffer("by").unwrap();
     let out = machine.buffer(by_buf);
 
-    println!("blur {n}x{m}: {} stores, {} loads", stats.stores, stats.loads);
-    println!(
-        "modeled cycles: {:.0} (cache: {} L1 misses, {} L2 misses)",
-        stats.cycles, stats.l1_misses, stats.l2_misses
-    );
+    println!("blur {n}x{m}: {stats}");
+    print!("{}", stats.report());
     println!("by[0][0..6] = {:?}", &out[0..6]);
     Ok(())
 }
