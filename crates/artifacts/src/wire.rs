@@ -1,0 +1,282 @@
+//! Byte-level wire primitives the module codecs are written against.
+//!
+//! Everything is little-endian and length-prefixed; there is no schema
+//! evolution — compatibility is handled wholesale by
+//! [`crate::FORMAT_VERSION`]. Writers are infallible (they build a
+//! `Vec<u8>`); readers return [`WireError`] on any malformed input so
+//! decoders can reject corrupt artifacts without panicking.
+
+/// Decode failure: the input was shorter or shaped differently than the
+/// encoder promised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Ran out of bytes mid-field.
+    Eof,
+    /// Structurally invalid content (bad enum tag, out-of-range index,
+    /// non-UTF-8 string, ...).
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Eof => write!(f, "unexpected end of input"),
+            WireError::Malformed(s) => write!(f, "malformed artifact: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Shorthand constructor used by decoders.
+pub fn malformed(msg: impl Into<String>) -> WireError {
+    WireError::Malformed(msg.into())
+}
+
+/// An append-only byte sink.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// An empty writer.
+    pub fn new() -> Writer {
+        Writer::default()
+    }
+
+    /// The accumulated bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// One byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// `u16`, little-endian.
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `i64`, little-endian two's complement.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `f32` by bit pattern (NaN payloads round-trip).
+    pub fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// `usize` as `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// A boolean as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+
+    /// Length-prefixed byte slice.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.u64(b.len() as u64);
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Raw bytes, no length prefix (fixed-size framing like file magic).
+    pub fn bytes_raw(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// A checked cursor over a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+/// Result alias for wire decoding.
+pub type Result<T> = std::result::Result<T, WireError>;
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the cursor reached the end.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(WireError::Eof);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// One byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// `u16`, little-endian.
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// `u32`, little-endian.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// `u64`, little-endian.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// `i64`, little-endian two's complement.
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// `f32` by bit pattern.
+    pub fn f32(&mut self) -> Result<f32> {
+        Ok(f32::from_bits(self.u32()?))
+    }
+
+    /// `usize` encoded as `u64`; rejects values beyond the platform size.
+    pub fn usize(&mut self) -> Result<usize> {
+        usize::try_from(self.u64()?).map_err(|_| malformed("usize overflow"))
+    }
+
+    /// A boolean byte (strictly 0 or 1).
+    pub fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(malformed(format!("invalid bool byte {b}"))),
+        }
+    }
+
+    /// A length used to pre-size a `Vec`: decoded as `u64`, rejected when
+    /// it promises more items than bytes remain (each item needs at least
+    /// `min_item_bytes`). This keeps corrupted headers from causing huge
+    /// allocations before the shortfall is noticed.
+    pub fn len(&mut self, min_item_bytes: usize) -> Result<usize> {
+        let n = self.usize()?;
+        if n > self.remaining() / min_item_bytes.max(1) {
+            return Err(malformed(format!("length {n} exceeds remaining input")));
+        }
+        Ok(n)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| malformed("invalid utf-8 string"))
+    }
+
+    /// Length-prefixed byte slice (borrowed).
+    pub fn bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.usize()?;
+        if n > self.remaining() {
+            return Err(WireError::Eof);
+        }
+        self.take(n)
+    }
+
+    /// Raw bytes, no length prefix.
+    pub fn bytes_raw(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(300);
+        w.u32(70_000);
+        w.u64(1 << 40);
+        w.i64(-12345);
+        w.f32(f32::from_bits(0x7fc0_1234)); // NaN with payload
+        w.bool(true);
+        w.str("héllo");
+        w.bytes(&[1, 2, 3]);
+        let buf = w.into_vec();
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.i64().unwrap(), -12345);
+        assert_eq!(r.f32().unwrap().to_bits(), 0x7fc0_1234);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn short_input_errors_not_panics() {
+        let mut w = Writer::new();
+        w.u64(99);
+        let buf = w.into_vec();
+        let mut r = Reader::new(&buf[..4]);
+        assert_eq!(r.u64(), Err(WireError::Eof));
+        // A length prefix promising more than the input holds.
+        let mut w = Writer::new();
+        w.u64(1 << 50);
+        let buf = w.into_vec();
+        assert!(Reader::new(&buf).bytes().is_err());
+        assert!(Reader::new(&buf).len(1).is_err());
+    }
+
+    #[test]
+    fn bad_bool_rejected() {
+        assert!(Reader::new(&[2]).bool().is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Compile-cache tiers: cold pipeline compile vs memory-LRU hit vs
+//! disk-artifact decode, on the Figure 1 sgemm schedule and the Figure 6
+//! conv2D kernel (numbers recorded in EXPERIMENTS.md).
+//!
+//! Each tier is measured through `CompileService` the way callers see
+//! it: "cold" runs the full pass pipeline, "memory_hit" is answered by
+//! the in-memory LRU, and "disk_hit" clears the memory tier each
+//! iteration so the request is served by decoding the on-disk artifact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tiramisu::{CompileService, CpuOptions, Function, ServiceConfig};
+
+struct Case {
+    name: &'static str,
+    f: Function,
+    opts: CpuOptions,
+    params: Vec<(&'static str, i64)>,
+}
+
+fn cases() -> Vec<Case> {
+    let (sgemm, sgemm_opts) =
+        kernels::sgemm::tiramisu_scheduled(16, true, true).expect("sgemm schedule");
+    let s = kernels::image::ImgSize::small();
+    let (conv2d, _) = kernels::image::conv2d_layer1(s);
+    vec![
+        Case { name: "sgemm", f: sgemm, opts: sgemm_opts, params: vec![("N", 48)] },
+        Case {
+            name: "conv2D",
+            f: conv2d,
+            opts: CpuOptions::default(),
+            params: vec![("H", s.h), ("W", s.w)],
+        },
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    for Case { name, f, opts, params } in cases() {
+        let mut g = c.benchmark_group(format!("compile_cache_{name}"));
+        g.sample_size(10);
+        g.warm_up_time(std::time::Duration::from_millis(300));
+        g.measurement_time(std::time::Duration::from_millis(800));
+
+        // Cold: the full pass pipeline, no caching at all.
+        g.bench_function("cold", |b| {
+            b.iter(|| tiramisu::compile_cpu(&f, &params, opts.clone()).unwrap());
+        });
+
+        // Memory hit: same request against a primed service.
+        let mem = CompileService::new(ServiceConfig::default());
+        mem.compile_cpu(&f, &params, opts.clone()).unwrap();
+        g.bench_function("memory_hit", |b| {
+            b.iter(|| mem.compile_cpu(&f, &params, opts.clone()).unwrap());
+        });
+
+        // Disk hit: the artifact exists, but the memory tier is cleared
+        // each iteration, forcing the decode path.
+        let dir = std::env::temp_dir()
+            .join(format!("tiramisu-bench-cache-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let disk = CompileService::new(ServiceConfig {
+            cache_dir: Some(dir.clone()),
+            ..Default::default()
+        });
+        disk.compile_cpu(&f, &params, opts.clone()).unwrap();
+        g.bench_function("disk_hit", |b| {
+            b.iter(|| {
+                disk.clear_memory();
+                disk.compile_cpu(&f, &params, opts.clone()).unwrap()
+            });
+        });
+        assert_eq!(
+            disk.stats().compiles,
+            1,
+            "disk_hit iterations must never fall back to a recompile"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

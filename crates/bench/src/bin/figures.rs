@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin figures -- all
-//! cargo run --release -p bench --bin figures -- fig1 table1 fig5 fig6 fig7 profile
+//! cargo run --release -p bench --bin figures -- fig1 table1 fig5 fig6 fig7 profile cache
 //! ```
 //!
 //! `all` (or no argument) additionally writes `BENCH_figures.json` at the
@@ -235,6 +235,45 @@ fn main() {
             eprintln!("wrote {path}");
         }
     }
+
+    if want("cache") {
+        // Compile-cache demo: a private service with a fresh store
+        // directory, exercised cold -> memory hit -> disk hit. Only
+        // deterministic event counters go into the snapshot (never wall
+        // times), so the committed JSON stays stable across hosts.
+        let dir = std::env::temp_dir().join(format!("tiramisu-figures-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let svc = tiramisu::CompileService::new(tiramisu::ServiceConfig {
+            cache_dir: Some(dir.clone()),
+            ..Default::default()
+        });
+        let (f, _, _) = kernels::sgemm::layer1(1.0, 1.0);
+        let opts = tiramisu::CpuOptions { check_legality: false, ..Default::default() };
+        svc.compile_cpu(&f, &[("N", 32)], opts.clone()).expect("cold compile");
+        svc.compile_cpu(&f, &[("N", 32)], opts.clone()).expect("memory hit");
+        svc.clear_memory();
+        svc.compile_cpu(&f, &[("N", 32)], opts).expect("disk hit");
+        let st = svc.stats();
+        println!("== compile cache: sgemm through cold / memory / disk tiers ==");
+        println!(
+            "  compiles={} memory_hits={} disk_hits={} corrupt_artifacts={}\n",
+            st.compiles, st.memory_hits, st.disk_hits, st.corrupt_artifacts
+        );
+        sections.push(format!(
+            "  \"compile_cache\": {{\"compiles\": {}, \"memory_hits\": {}, \"disk_hits\": {}, \"dedup_waits\": {}, \"busy_rejections\": {}, \"corrupt_artifacts\": {}}}",
+            st.compiles, st.memory_hits, st.disk_hits, st.dedup_waits, st.busy_rejections, st.corrupt_artifacts
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // Global compile-service counters for this invocation. With
+    // `TIRAMISU_CACHE_DIR` set, a second identical run reports its
+    // compiles as disk hits; CI greps this line for the warm-cache smoke.
+    let st = tiramisu::service::global().stats();
+    println!(
+        "compile service: compiles={} memory_hits={} disk_hits={} dedup_waits={} busy_rejections={}",
+        st.compiles, st.memory_hits, st.disk_hits, st.dedup_waits, st.busy_rejections
+    );
 
     if emit_json {
         let json = format!("{{\n{}\n}}\n", sections.join(",\n"));

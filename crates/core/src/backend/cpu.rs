@@ -81,6 +81,24 @@ impl CpuModule {
     pub fn disasm(&self) -> Option<String> {
         self.bytecode.as_ref().map(|bc| bc.disasm(&self.program))
     }
+
+    /// Rebuilds a module from decoded artifact parts ([`crate::service`]):
+    /// the pass pipeline does not run. Reconstructed modules carry no
+    /// [`CompileTrace`] — the trace travels as rendered text in the
+    /// artifact instead.
+    pub(crate) fn from_parts(
+        program: Program,
+        buffer_map: HashMap<String, VmBuf>,
+        param_values: Vec<(String, i64)>,
+        bytecode: Option<loopvm::BcProgram>,
+    ) -> CpuModule {
+        CpuModule { program, buffer_map, param_values, trace: None, bytecode }
+    }
+
+    /// The Tiramisu-name → VM-buffer map (for the artifact codec).
+    pub(crate) fn buffer_map(&self) -> &HashMap<String, VmBuf> {
+        &self.buffer_map
+    }
 }
 
 /// Compiles a function for the CPU substrate with concrete parameter

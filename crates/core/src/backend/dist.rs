@@ -84,6 +84,23 @@ impl DistModule {
         mpisim::run(&self.dist, n_ranks, comm, stats_mode)
             .map_err(|e| Error::Backend(e.to_string()))
     }
+
+    /// Rebuilds a module from decoded artifact parts ([`crate::service`]):
+    /// the pass pipeline does not run. Reconstructed modules carry no
+    /// [`CompileTrace`] — the trace travels as rendered text in the
+    /// artifact instead.
+    pub(crate) fn from_parts(
+        dist: DistProgram,
+        buffer_map: HashMap<String, loopvm::BufId>,
+        chunk_bytecode: Option<Vec<loopvm::BcProgram>>,
+    ) -> DistModule {
+        DistModule { dist, buffer_map, chunk_bytecode, trace: None }
+    }
+
+    /// The Tiramisu-name → VM-buffer map (for the artifact codec).
+    pub(crate) fn buffer_map(&self) -> &HashMap<String, loopvm::BufId> {
+        &self.buffer_map
+    }
 }
 
 /// Compiles a function for the distributed substrate: every rank executes

@@ -107,6 +107,32 @@ impl GpuModule {
         Some(out)
     }
 
+    /// Rebuilds a module from decoded artifact parts ([`crate::service`]):
+    /// the pass pipeline does not run. Reconstructed modules carry no
+    /// [`CompileTrace`] — the trace travels as rendered text in the
+    /// artifact instead.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        kernels: Vec<Kernel>,
+        program: loopvm::Program,
+        buffer_map: HashMap<String, loopvm::BufId>,
+        h2d: Vec<(String, usize)>,
+        d2h: Vec<(String, usize)>,
+        kernel_bytecode: Option<Vec<Vec<loopvm::BcProgram>>>,
+    ) -> GpuModule {
+        GpuModule { kernels, program, buffer_map, h2d, d2h, kernel_bytecode, trace: None }
+    }
+
+    /// The Tiramisu-name → VM-buffer map (for the artifact codec).
+    pub(crate) fn buffer_map(&self) -> &HashMap<String, loopvm::BufId> {
+        &self.buffer_map
+    }
+
+    /// All per-kernel phase bytecode (for the artifact codec).
+    pub(crate) fn kernel_bytecode(&self) -> Option<&[Vec<loopvm::BcProgram>]> {
+        self.kernel_bytecode.as_deref()
+    }
+
     /// Runs all kernels in order on the modeled device.
     ///
     /// # Errors

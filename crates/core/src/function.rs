@@ -182,6 +182,9 @@ pub enum Error {
     Polyhedral(String),
     /// Error from program generation or the VM.
     Backend(String),
+    /// The compile service's job queue is full (back-pressure); retry
+    /// later or raise the queue capacity.
+    Busy(String),
 }
 
 impl std::fmt::Display for Error {
@@ -194,6 +197,7 @@ impl std::fmt::Display for Error {
             Error::Illegal(s) => write!(f, "illegal schedule: {s}"),
             Error::Polyhedral(s) => write!(f, "polyhedral error: {s}"),
             Error::Backend(s) => write!(f, "backend error: {s}"),
+            Error::Busy(s) => write!(f, "compile service busy: {s}"),
         }
     }
 }
@@ -239,6 +243,50 @@ impl Function {
     /// Declares an iterator (`Var i(0, N-2)`).
     pub fn var(&self, name: &str, lo: impl Into<Expr>, hi: impl Into<Expr>) -> Var {
         Var::new(name, lo, hi)
+    }
+
+    /// A 64-bit structural fingerprint of the function: name, parameters,
+    /// every computation's Layer I–III state (domains and schedules in
+    /// their canonical isl text form, tag maps in sorted order), the
+    /// buffer table, and the Layer IV communication ops.
+    ///
+    /// Two structurally identical functions produce the same value in any
+    /// process — FNV-1a over a canonical text rendering, no
+    /// randomly-seeded hashing — so the value can key the persistent
+    /// artifact cache ([`crate::service`]). Any scheduling command, tag,
+    /// store mapping, or expression edit changes it.
+    pub fn fingerprint(&self) -> u64 {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(s, "fn {};params {:?};", self.name, self.params);
+        for c in &self.comps {
+            let _ = write!(
+                s,
+                "comp {};{:?};iters {:?};dom {};expr {:?};pred {:?};dyn {:?};sched {};betas {:?};",
+                c.name,
+                c.kind,
+                c.iters,
+                c.domain.to_isl_string(),
+                c.expr,
+                c.predicate,
+                c.dyn_names,
+                c.sched.to_isl_string(),
+                c.betas,
+            );
+            // HashMap iteration order is seeded per process: sort.
+            let mut tags: Vec<_> = c.tags.iter().collect();
+            tags.sort_by(|a, b| a.0.cmp(b.0));
+            let _ = write!(
+                s,
+                "tags {tags:?};inl {};red {};store {:?};idx {:?};",
+                c.inlined, c.redundant, c.store_buffer, c.store_idx
+            );
+        }
+        for b in &self.buffers {
+            let _ = write!(s, "buf {};ext {:?};space {:?};", b.name, b.extents, b.space);
+        }
+        let _ = write!(s, "comm {:?};", self.comm);
+        artifacts::fnv64(s.as_bytes())
     }
 
     /// Declares an external input over the given iterators. The input's

@@ -54,6 +54,7 @@ pub mod legality;
 pub mod lowering;
 pub mod pipeline;
 pub mod schedule;
+pub mod service;
 
 pub use expr::{CompId, Expr, Op, UnOp};
 pub use function::{
@@ -64,3 +65,4 @@ pub use backend::dist::{compile as compile_dist, DistModule, DistOptions};
 pub use backend::gpu::{compile as compile_gpu, GpuModule, GpuOptions, GpuRun};
 pub use pipeline::{CompileTrace, PassTrace};
 pub use schedule::At;
+pub use service::{CompileService, ServiceConfig, ServiceStats};

@@ -1,0 +1,445 @@
+//! Binary codecs turning compiled backend modules into artifact sections
+//! and back.
+//!
+//! One codec per [`crate::backend`] module type, layered on the loopvm
+//! codec ([`loopvm::codec`]) for programs, statements, and bytecode. The
+//! encoded form captures everything needed to *run* the module without
+//! re-running the pass pipeline: programs, buffer maps, launch geometry,
+//! copy plans, rank bodies, and the optimized bytecode. Compile traces
+//! are not part of the module payload — they travel as rendered text in
+//! a separate artifact section (their pass names are `&'static str` and
+//! cannot be reconstructed), so modules decoded from cache report
+//! `compile_trace() == None`.
+//!
+//! Decoding validates every index against the decoded declarations and
+//! returns [`WireError`] on any mismatch; the service treats that as a
+//! cache miss and recompiles.
+
+use crate::backend::cpu::CpuModule;
+use crate::backend::dist::DistModule;
+use crate::backend::gpu::GpuModule;
+use artifacts::wire::{malformed, Reader, Writer};
+use artifacts::WireError;
+use gpusim::{Kernel, MemSpace};
+use loopvm::codec as vmc;
+use loopvm::{BcProgram, BufId, Program};
+use mpisim::{DistProgram, DistStmt};
+use std::collections::HashMap;
+
+type Result<T> = std::result::Result<T, WireError>;
+
+// ---------------------------------------------------------------------------
+// Shared pieces
+// ---------------------------------------------------------------------------
+
+/// Buffer maps are `HashMap`s; encode in sorted order so equal modules
+/// produce byte-identical artifacts.
+fn encode_buffer_map(map: &HashMap<String, BufId>, w: &mut Writer) {
+    let mut entries: Vec<_> = map.iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    w.usize(entries.len());
+    for (name, buf) in entries {
+        w.str(name);
+        w.u32(buf.index() as u32);
+    }
+}
+
+fn decode_buffer_map(r: &mut Reader<'_>, p: &Program) -> Result<HashMap<String, BufId>> {
+    let n = r.len(2)?;
+    let mut map = HashMap::with_capacity(n);
+    for _ in 0..n {
+        let name = r.str()?;
+        let i = r.u32()? as usize;
+        if i >= p.n_buffers() {
+            return Err(malformed(format!(
+                "buffer-map entry {name} -> {i} out of range ({} buffers)",
+                p.n_buffers()
+            )));
+        }
+        map.insert(name, p.nth_buffer(i));
+    }
+    Ok(map)
+}
+
+fn encode_opt_bc(bc: Option<&BcProgram>, w: &mut Writer) {
+    match bc {
+        Some(bc) => {
+            w.bool(true);
+            vmc::encode_bc(bc, w);
+        }
+        None => w.bool(false),
+    }
+}
+
+fn decode_opt_bc(r: &mut Reader<'_>, p: &Program) -> Result<Option<BcProgram>> {
+    Ok(if r.bool()? { Some(vmc::decode_bc(r, p)?) } else { None })
+}
+
+fn decode_buf(r: &mut Reader<'_>, p: &Program) -> Result<BufId> {
+    let i = r.u32()? as usize;
+    if i >= p.n_buffers() {
+        return Err(malformed(format!("buffer {i} out of range ({})", p.n_buffers())));
+    }
+    Ok(p.nth_buffer(i))
+}
+
+fn encode_copy_plan(plan: &[(String, usize)], w: &mut Writer) {
+    w.usize(plan.len());
+    for (name, bytes) in plan {
+        w.str(name);
+        w.usize(*bytes);
+    }
+}
+
+fn decode_copy_plan(r: &mut Reader<'_>) -> Result<Vec<(String, usize)>> {
+    let n = r.len(2)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push((r.str()?, r.usize()?));
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// CPU
+// ---------------------------------------------------------------------------
+
+/// Serializes a CPU module into the artifact "module" section.
+pub(crate) fn encode_cpu(m: &CpuModule) -> Vec<u8> {
+    let mut w = Writer::new();
+    vmc::encode_program(&m.program, &mut w);
+    encode_buffer_map(m.buffer_map(), &mut w);
+    w.usize(m.param_values.len());
+    for (k, v) in &m.param_values {
+        w.str(k);
+        w.i64(*v);
+    }
+    encode_opt_bc(m.bytecode(), &mut w);
+    w.into_vec()
+}
+
+/// Deserializes a CPU module (see [`encode_cpu`]).
+pub(crate) fn decode_cpu(bytes: &[u8]) -> Result<CpuModule> {
+    let mut r = Reader::new(bytes);
+    let program = vmc::decode_program(&mut r)?;
+    let buffer_map = decode_buffer_map(&mut r, &program)?;
+    let n = r.len(9)?;
+    let mut param_values = Vec::with_capacity(n);
+    for _ in 0..n {
+        param_values.push((r.str()?, r.i64()?));
+    }
+    let bytecode = decode_opt_bc(&mut r, &program)?;
+    if !r.is_empty() {
+        return Err(malformed("trailing bytes after CPU module"));
+    }
+    Ok(CpuModule::from_parts(program, buffer_map, param_values, bytecode))
+}
+
+// ---------------------------------------------------------------------------
+// GPU
+// ---------------------------------------------------------------------------
+
+fn space_tag(s: MemSpace) -> u8 {
+    match s {
+        MemSpace::Global => 0,
+        MemSpace::Shared => 1,
+        MemSpace::Constant => 2,
+        MemSpace::Local => 3,
+    }
+}
+
+fn decode_space(r: &mut Reader<'_>) -> Result<MemSpace> {
+    Ok(match r.u8()? {
+        0 => MemSpace::Global,
+        1 => MemSpace::Shared,
+        2 => MemSpace::Constant,
+        3 => MemSpace::Local,
+        t => return Err(malformed(format!("unknown MemSpace tag {t}"))),
+    })
+}
+
+fn encode_kernel(k: &Kernel, w: &mut Writer) {
+    vmc::encode_program(&k.program, w);
+    for v in k.grid.iter().chain(&k.block) {
+        w.i64(*v);
+    }
+    for ov in k.block_vars.iter().chain(&k.thread_vars) {
+        match ov {
+            Some(v) => {
+                w.bool(true);
+                vmc::encode_var(*v, w);
+            }
+            None => w.bool(false),
+        }
+    }
+    w.usize(k.spaces.len());
+    for s in &k.spaces {
+        w.u8(space_tag(*s));
+    }
+    w.usize(k.barriers.len());
+    for b in &k.barriers {
+        w.usize(*b);
+    }
+}
+
+fn decode_kernel(r: &mut Reader<'_>) -> Result<Kernel> {
+    let program = vmc::decode_program(r)?;
+    let grid = [r.i64()?, r.i64()?];
+    let block = [r.i64()?, r.i64()?];
+    let mut vars = [None, None, None, None];
+    for v in &mut vars {
+        if r.bool()? {
+            *v = Some(vmc::decode_var(r, &program)?);
+        }
+    }
+    let n_spaces = r.len(1)?;
+    let mut spaces = Vec::with_capacity(n_spaces);
+    for _ in 0..n_spaces {
+        spaces.push(decode_space(r)?);
+    }
+    let n_barriers = r.len(8)?;
+    let mut barriers = Vec::with_capacity(n_barriers);
+    for _ in 0..n_barriers {
+        barriers.push(r.usize()?);
+    }
+    let mut k = Kernel::new(program, grid, block);
+    k.block_vars = [vars[0], vars[1]];
+    k.thread_vars = [vars[2], vars[3]];
+    k.spaces = spaces;
+    k.barriers = barriers;
+    Ok(k)
+}
+
+/// Serializes a GPU module into the artifact "module" section.
+pub(crate) fn encode_gpu(m: &GpuModule) -> Vec<u8> {
+    let mut w = Writer::new();
+    vmc::encode_program(&m.program, &mut w);
+    encode_buffer_map(m.buffer_map(), &mut w);
+    encode_copy_plan(&m.h2d, &mut w);
+    encode_copy_plan(&m.d2h, &mut w);
+    w.usize(m.kernels.len());
+    for k in &m.kernels {
+        encode_kernel(k, &mut w);
+    }
+    match m.kernel_bytecode() {
+        Some(per_kernel) => {
+            w.bool(true);
+            w.usize(per_kernel.len());
+            for phases in per_kernel {
+                w.usize(phases.len());
+                for bc in phases {
+                    vmc::encode_bc(bc, &mut w);
+                }
+            }
+        }
+        None => w.bool(false),
+    }
+    w.into_vec()
+}
+
+/// Deserializes a GPU module (see [`encode_gpu`]). Kernel bytecode is
+/// validated against its own kernel's program.
+pub(crate) fn decode_gpu(bytes: &[u8]) -> Result<GpuModule> {
+    let mut r = Reader::new(bytes);
+    let program = vmc::decode_program(&mut r)?;
+    let buffer_map = decode_buffer_map(&mut r, &program)?;
+    let h2d = decode_copy_plan(&mut r)?;
+    let d2h = decode_copy_plan(&mut r)?;
+    let n_kernels = r.len(1)?;
+    let mut kernels = Vec::with_capacity(n_kernels);
+    for _ in 0..n_kernels {
+        kernels.push(decode_kernel(&mut r)?);
+    }
+    let kernel_bytecode = if r.bool()? {
+        let n = r.len(1)?;
+        if n != kernels.len() {
+            return Err(malformed(format!(
+                "bytecode for {n} kernels but {} kernels present",
+                kernels.len()
+            )));
+        }
+        let mut per_kernel = Vec::with_capacity(n);
+        for k in &kernels {
+            let n_phases = r.len(1)?;
+            let mut phases = Vec::with_capacity(n_phases);
+            for _ in 0..n_phases {
+                phases.push(vmc::decode_bc(&mut r, &k.program)?);
+            }
+            per_kernel.push(phases);
+        }
+        Some(per_kernel)
+    } else {
+        None
+    };
+    if !r.is_empty() {
+        return Err(malformed("trailing bytes after GPU module"));
+    }
+    Ok(GpuModule::from_parts(kernels, program, buffer_map, h2d, d2h, kernel_bytecode))
+}
+
+// ---------------------------------------------------------------------------
+// Distributed
+// ---------------------------------------------------------------------------
+
+fn encode_dist_stmts(body: &[DistStmt], w: &mut Writer) {
+    w.usize(body.len());
+    for s in body {
+        match s {
+            DistStmt::Compute(stmts) => {
+                w.u8(0);
+                vmc::encode_stmts(stmts, w);
+            }
+            DistStmt::Send { dest, buf, offset, count, asynchronous } => {
+                w.u8(1);
+                vmc::encode_expr(dest, w);
+                w.u32(buf.index() as u32);
+                vmc::encode_expr(offset, w);
+                vmc::encode_expr(count, w);
+                w.bool(*asynchronous);
+            }
+            DistStmt::Recv { src, buf, offset, count } => {
+                w.u8(2);
+                vmc::encode_expr(src, w);
+                w.u32(buf.index() as u32);
+                vmc::encode_expr(offset, w);
+                vmc::encode_expr(count, w);
+            }
+            DistStmt::If { cond, body } => {
+                w.u8(3);
+                vmc::encode_expr(cond, w);
+                encode_dist_stmts(body, w);
+            }
+            DistStmt::Barrier => w.u8(4),
+        }
+    }
+}
+
+fn decode_dist_stmts(r: &mut Reader<'_>, p: &Program) -> Result<Vec<DistStmt>> {
+    let n = r.len(1)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(match r.u8()? {
+            0 => DistStmt::Compute(vmc::decode_stmts(r, p)?),
+            1 => DistStmt::Send {
+                dest: vmc::decode_expr(r, p)?,
+                buf: decode_buf(r, p)?,
+                offset: vmc::decode_expr(r, p)?,
+                count: vmc::decode_expr(r, p)?,
+                asynchronous: r.bool()?,
+            },
+            2 => DistStmt::Recv {
+                src: vmc::decode_expr(r, p)?,
+                buf: decode_buf(r, p)?,
+                offset: vmc::decode_expr(r, p)?,
+                count: vmc::decode_expr(r, p)?,
+            },
+            3 => DistStmt::If {
+                cond: vmc::decode_expr(r, p)?,
+                body: decode_dist_stmts(r, p)?,
+            },
+            4 => DistStmt::Barrier,
+            t => return Err(malformed(format!("unknown DistStmt tag {t}"))),
+        });
+    }
+    Ok(out)
+}
+
+/// Serializes a distributed module into the artifact "module" section.
+pub(crate) fn encode_dist(m: &DistModule) -> Vec<u8> {
+    let mut w = Writer::new();
+    vmc::encode_program(&m.dist.program, &mut w);
+    vmc::encode_var(m.dist.rank_var, &mut w);
+    vmc::encode_stmts(&m.dist.preamble, &mut w);
+    encode_dist_stmts(&m.dist.body, &mut w);
+    encode_buffer_map(m.buffer_map(), &mut w);
+    match m.bytecode() {
+        Some(chunks) => {
+            w.bool(true);
+            w.usize(chunks.len());
+            for bc in chunks {
+                vmc::encode_bc(bc, &mut w);
+            }
+        }
+        None => w.bool(false),
+    }
+    w.into_vec()
+}
+
+/// Deserializes a distributed module (see [`encode_dist`]).
+pub(crate) fn decode_dist(bytes: &[u8]) -> Result<DistModule> {
+    let mut r = Reader::new(bytes);
+    let program = vmc::decode_program(&mut r)?;
+    let rank_var = vmc::decode_var(&mut r, &program)?;
+    let preamble = vmc::decode_stmts(&mut r, &program)?;
+    let body = decode_dist_stmts(&mut r, &program)?;
+    let buffer_map = decode_buffer_map(&mut r, &program)?;
+    let chunk_bytecode = if r.bool()? {
+        let n = r.len(1)?;
+        let mut chunks = Vec::with_capacity(n);
+        for _ in 0..n {
+            chunks.push(vmc::decode_bc(&mut r, &program)?);
+        }
+        Some(chunks)
+    } else {
+        None
+    };
+    if !r.is_empty() {
+        return Err(malformed("trailing bytes after dist module"));
+    }
+    Ok(DistModule::from_parts(
+        DistProgram { program, rank_var, body, preamble },
+        buffer_map,
+        chunk_bytecode,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::cpu::{compile, CpuOptions};
+    use crate::expr::Expr;
+    use crate::function::Function;
+
+    fn sample_module() -> CpuModule {
+        let mut f = Function::new("scale", &["N"]);
+        let i = f.var("i", 0, Expr::param("N"));
+        let input = f.input("in", std::slice::from_ref(&i)).unwrap();
+        let c = f
+            .computation(
+                "out",
+                &[i],
+                f.access(input, &[Expr::iter("i")]) * Expr::f32(3.0),
+            )
+            .unwrap();
+        f.vectorize(c, "i", 8).unwrap();
+        compile(&f, &[("N", 32)], CpuOptions::default()).unwrap()
+    }
+
+    #[test]
+    fn cpu_module_roundtrips_and_runs_bit_exact() {
+        let m = sample_module();
+        let bytes = encode_cpu(&m);
+        let m2 = decode_cpu(&bytes).unwrap();
+        assert_eq!(m.program, m2.program);
+        assert_eq!(m.program.fingerprint(), m2.program.fingerprint());
+        assert_eq!(m.param_values, m2.param_values);
+        assert_eq!(m.disasm(), m2.disasm());
+
+        let run = |m: &CpuModule| {
+            let mut machine = m.machine();
+            let inb = m.vm_buffer("in").unwrap();
+            machine.buffer_mut(inb).iter_mut().enumerate().for_each(|(k, v)| *v = k as f32);
+            machine.run_bytecode(m.bytecode().unwrap()).unwrap();
+            machine.buffer(m.vm_buffer("out").unwrap()).to_vec()
+        };
+        assert_eq!(run(&m), run(&m2));
+    }
+
+    #[test]
+    fn cpu_decode_rejects_truncation() {
+        let bytes = encode_cpu(&sample_module());
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_cpu(&bytes[..cut]).is_err());
+        }
+    }
+}

@@ -59,7 +59,7 @@ fn finish(
     output: &str,
     check: bool,
 ) -> tiramisu::Result<Prepared> {
-    let module = tiramisu::compile_cpu(
+    let module = tiramisu::service::global().compile_cpu(
         f,
         &params(s),
         CpuOptions { check_legality: check, ..Default::default() },
@@ -68,7 +68,7 @@ fn finish(
         name: name.to_string(),
         inputs: inputs.iter().map(|b| module.vm_buffer(b).expect("input")).collect(),
         output: module.vm_buffer(output).expect("output"),
-        program: module.program,
+        program: module.program.clone(),
     })
 }
 
@@ -136,7 +136,9 @@ pub(crate) fn cvt_layer1(_s: ImgSize) -> (Function, CompId) {
 }
 
 /// conv2D: 3×3 convolution with clamped (non-affine) boundary accesses.
-pub(crate) fn conv2d_layer1(s: ImgSize) -> (Function, CompId) {
+/// Public so the compile-cache bench can drive the service with a real
+/// Figure 6 workload.
+pub fn conv2d_layer1(s: ImgSize) -> (Function, CompId) {
     let mut f = Function::new("conv2d", &["H", "W"]);
     let i = f.var("i", 0, E::param("H"));
     let j = f.var("j", 0, E::param("W"));

@@ -22,8 +22,8 @@ use tiramisu::{CompId, DistOptions, Expr as E, Function, Var};
 pub struct DistPrep {
     /// Variant name.
     pub name: String,
-    /// The compiled module.
-    pub module: tiramisu::DistModule,
+    /// The compiled module (shared with the compile service's caches).
+    pub module: std::sync::Arc<tiramisu::DistModule>,
     /// Input buffer names to seed on every rank.
     pub inputs: Vec<String>,
     /// Rank count the schedule was built for.
@@ -219,7 +219,7 @@ pub fn tiramisu_dist_opts(
         f.comm_before(send, comps[0]);
         f.comm_before(recv, comps[0]);
     }
-    let module = tiramisu::compile_dist(
+    let module = tiramisu::service::global().compile_dist(
         &f,
         &params(s),
         DistOptions { check_legality: false, ..DistOptions::default() },

@@ -50,7 +50,11 @@ fn tile_comp(
 ///
 /// Structural unsupport (Halide on edgeDetector / ticket #2373) or
 /// compilation errors.
-pub fn gpu_variant(name: &str, s: ImgSize, flavor: GpuFlavor) -> tiramisu::Result<GpuModule> {
+pub fn gpu_variant(
+    name: &str,
+    s: ImgSize,
+    flavor: GpuFlavor,
+) -> tiramisu::Result<std::sync::Arc<GpuModule>> {
     if flavor == GpuFlavor::Halide && (name == "edgeDetector" || name == "ticket #2373") {
         return Err(tiramisu::Error::Backend(format!(
             "halide cannot express {name} (cyclic graph / non-rectangular bounds)"
@@ -63,12 +67,12 @@ pub fn gpu_variant(name: &str, s: ImgSize, flavor: GpuFlavor) -> tiramisu::Resul
             let (mut f, r, out) = edge_layer1(s);
             tile_comp(&mut f, r, flavor, "i", "j")?;
             tile_comp(&mut f, out, flavor, "i", "j")?;
-            tiramisu::compile_gpu(&f, &params(s), opts)
+            tiramisu::service::global().compile_gpu(&f, &params(s), opts)
         }
         "cvtColor" => {
             let (mut f, gray) = cvt_layer1(s);
             tile_comp(&mut f, gray, flavor, "i", "j")?;
-            tiramisu::compile_gpu(&f, &params(s), opts)
+            tiramisu::service::global().compile_gpu(&f, &params(s), opts)
         }
         "conv2D" => {
             let (mut f, out) = conv2d_layer1(s);
@@ -80,12 +84,12 @@ pub fn gpu_variant(name: &str, s: ImgSize, flavor: GpuFlavor) -> tiramisu::Resul
                 f.store_in(w, wbuf, &[E::iter("k")]);
             }
             tile_comp(&mut f, out, flavor, "i", "j")?;
-            tiramisu::compile_gpu(&f, &params(s), opts)
+            tiramisu::service::global().compile_gpu(&f, &params(s), opts)
         }
         "warpAffine" => {
             let (mut f, out) = warp_layer1(s);
             tile_comp(&mut f, out, flavor, "i", "j")?;
-            tiramisu::compile_gpu(&f, &params(s), opts)
+            tiramisu::service::global().compile_gpu(&f, &params(s), opts)
         }
         "gaussian" => {
             let (mut f, gx, gy) = gaussian_layer1(s);
@@ -97,7 +101,7 @@ pub fn gpu_variant(name: &str, s: ImgSize, flavor: GpuFlavor) -> tiramisu::Resul
             }
             tile_comp(&mut f, gx, flavor, "i", "j")?;
             tile_comp(&mut f, gy, flavor, "i", "j")?;
-            tiramisu::compile_gpu(&f, &params(s), opts)
+            tiramisu::service::global().compile_gpu(&f, &params(s), opts)
         }
         "nb" => {
             let (mut f, [neg, bright, mix, out]) = nb_layer1(s);
@@ -115,12 +119,12 @@ pub fn gpu_variant(name: &str, s: ImgSize, flavor: GpuFlavor) -> tiramisu::Resul
                     tile_comp(&mut f, c, flavor, "i", "j")?;
                 }
             }
-            tiramisu::compile_gpu(&f, &params(s), opts)
+            tiramisu::service::global().compile_gpu(&f, &params(s), opts)
         }
         "ticket #2373" => {
             let (mut f, out) = ticket_layer1(s);
             tile_comp(&mut f, out, flavor, "i", "j")?;
-            tiramisu::compile_gpu(&f, &params(s), opts)
+            tiramisu::service::global().compile_gpu(&f, &params(s), opts)
         }
         other => panic!("unknown benchmark {other}"),
     }
@@ -133,7 +137,10 @@ pub fn gpu_variant(name: &str, s: ImgSize, flavor: GpuFlavor) -> tiramisu::Resul
 /// # Errors
 ///
 /// Compilation errors.
-pub fn blur_shared_cache(n: i64, cache: bool) -> tiramisu::Result<tiramisu::GpuModule> {
+pub fn blur_shared_cache(
+    n: i64,
+    cache: bool,
+) -> tiramisu::Result<std::sync::Arc<tiramisu::GpuModule>> {
     use tiramisu::{Expr as E, Function};
     let mut f = Function::new("blurc", &["N"]);
     let i = f.var("i", 0, E::param("N"));
@@ -155,7 +162,7 @@ pub fn blur_shared_cache(n: i64, cache: bool) -> tiramisu::Result<tiramisu::GpuM
     if cache {
         f.cache_shared_at(input, out, "jB")?;
     }
-    tiramisu::compile_gpu(&f, &[("N", n)], tiramisu::GpuOptions::default())
+    tiramisu::service::global().compile_gpu(&f, &[("N", n)], tiramisu::GpuOptions::default())
 }
 
 /// Runs a compiled GPU module with deterministically-filled inputs and

@@ -58,13 +58,15 @@ pub fn layer1(alpha: f32, beta: f32) -> (Function, CompId, CompId) {
 }
 
 fn finish(f: &Function, n: i64, name: &str, opts: CpuOptions) -> tiramisu::Result<Prepared> {
-    let module = tiramisu::compile_cpu(f, &[("N", n)], opts)?;
+    // Compiles through the process-wide service so repeated variants hit
+    // the memory tier and (with `TIRAMISU_CACHE_DIR`) the disk tier.
+    let module = tiramisu::service::global().compile_cpu(f, &[("N", n)], opts)?;
     let inputs = ["A", "B", "Cin"]
         .iter()
         .map(|b| module.vm_buffer(b).expect("input buffer"))
         .collect();
     let output = module.vm_buffer("C").expect("output buffer");
-    Ok(Prepared { name: name.to_string(), program: module.program, inputs, output })
+    Ok(Prepared { name: name.to_string(), program: module.program.clone(), inputs, output })
 }
 
 /// Naive reference: the untransformed schedule.
@@ -88,6 +90,18 @@ pub fn tiramisu_ablated(
     packing: bool,
     separate: bool,
 ) -> tiramisu::Result<Prepared> {
+    let (f, opts) = tiramisu_scheduled(tile, packing, separate)?;
+    finish(&f, n, "Tiramisu", opts)
+}
+
+/// The fully scheduled Layer-II function behind [`tiramisu_best`] plus
+/// the compile options it uses — exposed so the compile-cache bench and
+/// service tests can drive `CompileService` with a real workload.
+pub fn tiramisu_scheduled(
+    tile: i64,
+    packing: bool,
+    separate: bool,
+) -> tiramisu::Result<(Function, CpuOptions)> {
     let (mut f, c_init, c_upd) = layer1(1.0, 1.0);
     // Pack B's panel: packB(k, j) = B(k, j), stored at packed[k][j % tile],
     // computed per j-panel of the update loop.
@@ -131,12 +145,7 @@ pub fn tiramisu_ablated(
     f.tile(c_init, "i", "j", tile, tile, ("i0", "j0", "i1", "j1"))?;
     f.vectorize(c_init, "j1", 8)?;
     f.parallelize(c_init, "i0")?;
-    finish(
-        &f,
-        n,
-        "Tiramisu",
-        CpuOptions { separate_tiles: separate, ..Default::default() },
-    )
+    Ok((f, CpuOptions { separate_tiles: separate, ..Default::default() }))
 }
 
 /// AlphaZ stand-in: scheduling language, but no packing / register
@@ -280,7 +289,7 @@ pub fn vendor(n: i64, tile: i64) -> Prepared {
 /// # Errors
 ///
 /// Compilation errors from the GPU backend.
-pub fn gpu_tiled(n: i64, tile: i64) -> tiramisu::Result<tiramisu::GpuModule> {
+pub fn gpu_tiled(n: i64, tile: i64) -> tiramisu::Result<std::sync::Arc<tiramisu::GpuModule>> {
     let (mut f, _c_init, c_upd) = layer1(1.0, 1.0);
     // Run init as part of the kernel: tile both identically.
     let c_init = f.comp_by_name("c_init").unwrap();
@@ -289,7 +298,7 @@ pub fn gpu_tiled(n: i64, tile: i64) -> tiramisu::Result<tiramisu::GpuModule> {
     // Fuse init into the same kernel (same grid): init before upd at the
     // thread level.
     f.fuse_after(c_upd, c_init, &format!("{}T", "j"))?;
-    tiramisu::compile_gpu(&f, &[("N", n)], tiramisu::GpuOptions::default())
+    tiramisu::service::global().compile_gpu(&f, &[("N", n)], tiramisu::GpuOptions::default())
 }
 
 /// GPU gemm with a naive 1-D thread mapping (the PENCIL/TC class: more
@@ -298,7 +307,7 @@ pub fn gpu_tiled(n: i64, tile: i64) -> tiramisu::Result<tiramisu::GpuModule> {
 /// # Errors
 ///
 /// Compilation errors from the GPU backend.
-pub fn gpu_naive(n: i64) -> tiramisu::Result<tiramisu::GpuModule> {
+pub fn gpu_naive(n: i64) -> tiramisu::Result<std::sync::Arc<tiramisu::GpuModule>> {
     let (mut f, _c_init, c_upd) = layer1(1.0, 1.0);
     let c_init = f.comp_by_name("c_init").unwrap();
     // Threads along i only: j and k stay inside each thread — strided,
@@ -310,7 +319,7 @@ pub fn gpu_naive(n: i64) -> tiramisu::Result<tiramisu::GpuModule> {
     f.tag_level_gpu_block(c_init, "i0", 0)?;
     f.tag_level_gpu_thread(c_init, "i1", 0)?;
     f.fuse_after(c_upd, c_init, "i1")?;
-    tiramisu::compile_gpu(&f, &[("N", n)], tiramisu::GpuOptions::default())
+    tiramisu::service::global().compile_gpu(&f, &[("N", n)], tiramisu::GpuOptions::default())
 }
 
 /// Auto-tuning (§VI-A: "we used auto-tuning to find the best tile size

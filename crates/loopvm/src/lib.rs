@@ -46,6 +46,8 @@
 //! ```
 
 pub mod bytecode;
+pub mod cache;
+pub mod codec;
 pub mod cost;
 pub mod expr;
 pub mod opt;
@@ -54,11 +56,15 @@ pub mod simt;
 pub mod vm;
 
 pub use bytecode::{BcProgram, InstClassCounts, OptStats};
+pub use cache::{CacheStats, Lru};
 pub use cost::{CacheCfg, CacheSim, CostModel};
 pub use expr::{BinOp, Expr, Ty, UnOp, Var};
 pub use program::{BufId, LoopKind, Program, Stmt};
 pub use simt::{exec_warp, exec_warp_profiled, WarpHost};
-pub use vm::{compile, eval_scalar, Code, ExecMode, Machine, Op, RunStats, ScalarThunk};
+pub use vm::{
+    compile, eval_scalar, Code, ExecMode, Machine, Op, RunStats, ScalarThunk,
+    DEFAULT_BC_CACHE_CAPACITY,
+};
 
 /// Errors produced when compiling or executing a program.
 #[derive(Debug, Clone, PartialEq)]

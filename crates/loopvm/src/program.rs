@@ -117,8 +117,13 @@ pub struct Program {
     /// [`Program::push`] / [`Program::set_body`] so the fingerprint stays
     /// in sync.
     pub(crate) body: Vec<Stmt>,
-    /// Running hash of the declaration tables (buffers + vars).
-    fp_decl: u64,
+    /// Running hash of the buffer table. Kept separate from `fp_vars` so
+    /// the fingerprint is truly structural: interleaving `buffer()` and
+    /// `var()` calls differently (as codec replay does) must not change
+    /// the fingerprint of a structurally equal program.
+    fp_bufs: u64,
+    /// Running hash of the variable table.
+    fp_vars: u64,
     /// Running hash of the statement list.
     fp_body: u64,
 }
@@ -232,8 +237,8 @@ impl Program {
     /// Declares a buffer of `size` `f32` elements.
     pub fn buffer(&mut self, name: &str, size: usize) -> BufId {
         self.buffers.push((name.to_string(), size));
-        self.fp_decl = fp_mix(
-            self.fp_decl,
+        self.fp_bufs = fp_mix(
+            self.fp_bufs,
             fp_item(|h| {
                 b"buf".hash(h);
                 name.hash(h);
@@ -246,8 +251,8 @@ impl Program {
     /// Declares a scalar variable slot.
     pub fn var(&mut self, name: &str) -> Var {
         self.vars.push(name.to_string());
-        self.fp_decl = fp_mix(
-            self.fp_decl,
+        self.fp_vars = fp_mix(
+            self.fp_vars,
             fp_item(|h| {
                 b"var".hash(h);
                 name.hash(h);
@@ -284,7 +289,7 @@ impl Program {
     /// compiled-bytecode cache on this value, making the repeated-run
     /// cache hit O(1) instead of an O(program) equality walk.
     pub fn fingerprint(&self) -> u64 {
-        fp_mix(fp_mix(0x7472_616d_6973_7531, self.fp_decl), self.fp_body)
+        fp_mix(fp_mix(fp_mix(0x7472_616d_6973_7531, self.fp_bufs), self.fp_vars), self.fp_body)
     }
 
     /// Number of declared buffers.

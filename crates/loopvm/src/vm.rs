@@ -350,12 +350,19 @@ pub struct Machine {
     cost: CostModel,
     bases: Vec<u64>,
     mode: ExecMode,
-    /// Fingerprint of the last program compiled by [`Machine::run`] in
-    /// bytecode mode, with its compiled form — repeated `run()` calls on
-    /// the same program (the benchmark/driver pattern) hit in O(1) via
-    /// [`Program::fingerprint`] instead of re-optimizing.
-    bc_cache: Option<(u64, BcProgram)>,
+    /// Compiled-bytecode LRU keyed by [`Program::fingerprint`]: repeated
+    /// `run()` calls on structurally identical programs (the
+    /// benchmark/driver pattern) hit in O(1) instead of re-optimizing,
+    /// and a driver alternating between a few programs (e.g. the
+    /// differential harness's per-backend variants) keeps all of them
+    /// warm. Bounded — see [`Machine::set_cache_capacity`].
+    bc_cache: crate::cache::Lru<u64, BcProgram>,
 }
+
+/// Default [`Machine`] bytecode-cache capacity (entries). Big enough to
+/// keep every program a typical driver alternates between; small enough
+/// that abandoned programs don't accumulate.
+pub const DEFAULT_BC_CACHE_CAPACITY: usize = 16;
 
 struct ExecCtx<'a> {
     bufs: &'a [SharedBuf],
@@ -397,8 +404,27 @@ impl Machine {
             cost: CostModel::default(),
             bases,
             mode: default_exec_mode(),
-            bc_cache: None,
+            bc_cache: crate::cache::Lru::new(DEFAULT_BC_CACHE_CAPACITY),
         }
+    }
+
+    /// Re-bounds the compiled-bytecode cache used by [`Machine::run`],
+    /// evicting least-recently-used entries if it shrinks. A capacity of
+    /// `0` disables caching entirely (every `run()` recompiles).
+    pub fn set_cache_capacity(&mut self, capacity: usize) {
+        self.bc_cache.set_capacity(capacity);
+    }
+
+    /// The compiled-bytecode cache's capacity bound.
+    pub fn cache_capacity(&self) -> usize {
+        self.bc_cache.capacity()
+    }
+
+    /// Hit/miss/eviction counters of the compiled-bytecode cache. Only
+    /// [`Machine::run`] in bytecode mode touches the cache, so tree-walk
+    /// runs and explicit [`Machine::run_bytecode`] calls don't move these.
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.bc_cache.stats()
     }
 
     /// Sets the cost model used by [`Machine::run_with_stats`].
@@ -468,13 +494,15 @@ impl Machine {
     pub fn run(&mut self, p: &Program) -> Result<()> {
         match self.mode {
             ExecMode::Bytecode => {
+                // Take (not borrow) the cached program so `run_bytecode`
+                // can borrow `self` mutably, then put it back as MRU.
                 let fp = p.fingerprint();
-                let entry = match self.bc_cache.take() {
-                    Some(e) if e.0 == fp => e,
-                    _ => (fp, crate::opt::compile_program(p)?),
+                let bc = match self.bc_cache.take(&fp) {
+                    Some(bc) => bc,
+                    None => crate::opt::compile_program(p)?,
                 };
-                let r = self.run_bytecode(&entry.1);
-                self.bc_cache = Some(entry);
+                let r = self.run_bytecode(&bc);
+                self.bc_cache.insert(fp, bc);
                 r
             }
             ExecMode::TreeWalk => self.run_inner::<false>(p).map(|_| ()),
@@ -1914,6 +1942,40 @@ mod tests {
         assert_eq!(run_saxpy(LoopKind::Parallel), serial);
         assert_eq!(run_saxpy(LoopKind::Vectorize(8)), serial);
         assert_eq!(run_saxpy(LoopKind::Unroll(4)), serial);
+    }
+
+    #[test]
+    fn run_caches_bytecode_with_lru_eviction() {
+        // Two structurally different programs over the same declarations.
+        let (p1, _, _) = saxpy_program(LoopKind::Serial, 10);
+        let (p2, _, _) = saxpy_program(LoopKind::Unroll(2), 10);
+        let mut m = Machine::new(&p1);
+        assert_eq!(m.cache_capacity(), DEFAULT_BC_CACHE_CAPACITY);
+
+        m.run(&p1).unwrap(); // miss, compiles
+        m.run(&p1).unwrap(); // hit
+        m.run(&p2).unwrap(); // miss
+        m.run(&p1).unwrap(); // hit — both stay warm under the default bound
+        let s = m.cache_stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (2, 2, 0));
+
+        // Shrink to one entry: the LRU program (p2) is evicted.
+        m.set_cache_capacity(1);
+        assert_eq!(m.cache_stats().evictions, 1);
+        m.run(&p1).unwrap(); // still cached (MRU survived)
+        assert_eq!(m.cache_stats().hits, 3);
+        m.run(&p2).unwrap(); // recompile, evicts p1
+        m.run(&p1).unwrap(); // recompile again
+        let s = m.cache_stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (3, 4, 3));
+
+        // Capacity 0 disables caching entirely.
+        m.set_cache_capacity(0);
+        m.run(&p1).unwrap();
+        m.run(&p1).unwrap();
+        let s = m.cache_stats();
+        assert_eq!(s.hits, 3);
+        assert_eq!(s.misses, 6);
     }
 
     #[test]

@@ -199,6 +199,20 @@ fn build(alg: &RAlg) -> (Function, CompId, Option<CompId>) {
 
 /// Runs the CPU module in one execution mode, returning every buffer's
 /// bit pattern.
+/// Shared compile service with a disk store for the cached↔fresh lane.
+/// One instance (and store directory) per test process.
+fn diff_service() -> &'static tiramisu::CompileService {
+    static SVC: std::sync::OnceLock<tiramisu::CompileService> = std::sync::OnceLock::new();
+    SVC.get_or_init(|| {
+        let dir = std::env::temp_dir().join(format!("tiramisu-diff-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        tiramisu::CompileService::new(tiramisu::ServiceConfig {
+            cache_dir: Some(dir),
+            ..Default::default()
+        })
+    })
+}
+
 fn run_cpu(module: &tiramisu::CpuModule, tree_walk: bool) -> Vec<Vec<u32>> {
     let mut m = module.machine();
     m.set_threads(2);
@@ -264,6 +278,24 @@ proptest! {
             "schedule changed values: {:?} / {:?} {:?}", &alg, &sched1, &sched2
         );
         let cpu_out = &fast[out_idx(&module)];
+
+        // --- CPU cached lane: disk artifact vs fresh compile -----------
+        // First request compiles (or hits a prior case's artifact); after
+        // clearing the memory tier the second request must be served by
+        // decoding the on-disk artifact, bit-exact vs the direct compile.
+        let svc = diff_service();
+        svc.compile_cpu(&f, &[("N", N), ("M", M)], CpuOptions::default()).unwrap();
+        svc.clear_memory();
+        let disk_hits_before = svc.stats().disk_hits;
+        let cached = svc.compile_cpu(&f, &[("N", N), ("M", M)], CpuOptions::default()).unwrap();
+        prop_assert_eq!(
+            svc.stats().disk_hits,
+            disk_hits_before + 1,
+            "second request did not decode from disk: {:?}", &alg
+        );
+        prop_assert_eq!(&cached.program, &module.program, "decoded program differs: {:?}", &alg);
+        let cached_run = run_cpu(&cached, false);
+        prop_assert_eq!(&fast, &cached_run, "cached vs fresh execution: {:?}", &alg);
 
         // --- GPU backend ----------------------------------------------
         let (mut fg, bxg, byg) = build(&alg);
