@@ -35,6 +35,13 @@ fn bench(c: &mut Criterion) {
     let prep = kernels::sgemm::tiramisu_best(n, tile).unwrap();
     let bc = loopvm::opt::compile_program(&prep.program).unwrap();
     let mut machine = prep.machine();
+    // The native tier, compiled once outside the timed region like the
+    // bytecode; the row only exists where the JIT backend does.
+    if let Some(jit) = loopvm::jit::compile(&bc) {
+        g.bench_function("jit", |b| {
+            b.iter(|| machine.run_jit(&jit).unwrap());
+        });
+    }
     g.bench_function("bytecode", |b| {
         b.iter(|| machine.run_bytecode(&bc).unwrap());
     });

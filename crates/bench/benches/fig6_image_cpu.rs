@@ -40,6 +40,12 @@ fn bench(c: &mut Criterion) {
         let t = tiramisu_cpu(name, s).unwrap();
         let bc = loopvm::opt::compile_program(&t.program).unwrap();
         let mut m = t.machine();
+        // Native tier row, present wherever the JIT backend is.
+        if let Some(jit) = loopvm::jit::compile(&bc) {
+            g.bench_function(format!("{name}/jit"), |b| {
+                b.iter(|| m.run_jit(&jit).unwrap())
+            });
+        }
         g.bench_function(format!("{name}/bytecode"), |b| {
             b.iter(|| m.run_bytecode(&bc).unwrap())
         });

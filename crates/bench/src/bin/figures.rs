@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin figures -- all
-//! cargo run --release -p bench --bin figures -- fig1 table1 fig5 fig6 fig7 profile cache
+//! cargo run --release -p bench --bin figures -- fig1 table1 fig5 fig6 fig7 profile tiers cache
 //! ```
 //!
 //! `all` (or no argument) additionally writes `BENCH_figures.json` at the
@@ -236,6 +236,64 @@ fn main() {
         }
     }
 
+    if want("tiers") {
+        // Executor-tier cross-section: for the Figure 1 sgemm schedule and
+        // every Figure 6 image kernel, the deterministic footprint of each
+        // tier — bytecode instruction count, and where the native backend
+        // exists (x86-64 Linux) the JIT's code size, function count, and
+        // deopt-stub count. No timing, so the snapshot is host-stable.
+        let mut progs: Vec<(String, loopvm::Program)> = Vec::new();
+        let prep = kernels::sgemm::tiramisu_best(48, 16).expect("sgemm compile");
+        progs.push(("sgemm".to_string(), prep.program.clone()));
+        for name in kernels::image::IMAGE_BENCHMARKS {
+            let t = kernels::image::tiramisu_cpu(name, kernels::image::ImgSize::small())
+                .expect("image compile");
+            progs.push((name.to_string(), t.program.clone()));
+        }
+        let mut rows: Vec<Vec<String>> = Vec::new();
+        let mut cells: Vec<String> = Vec::new();
+        for (name, p) in &progs {
+            let bc = loopvm::opt::compile_program(p).expect("bytecode compile");
+            let insts = bc.stats().insts;
+            let jit = loopvm::jit::compile(&bc);
+            let (code, fns, deopts) = match &jit {
+                Some(j) => (
+                    j.code_len().to_string(),
+                    j.n_fns().to_string(),
+                    j.n_deopts().to_string(),
+                ),
+                None => ("-".to_string(), "-".to_string(), "-".to_string()),
+            };
+            rows.push(vec![
+                name.clone(),
+                insts.to_string(),
+                code.clone(),
+                fns.clone(),
+                deopts.clone(),
+            ]);
+            let jfield = |v: &str| {
+                if v == "-" { "null".to_string() } else { v.to_string() }
+            };
+            cells.push(format!(
+                "{}: {{\"bc_insts\": {}, \"jit_code_bytes\": {}, \"jit_fns\": {}, \"jit_deopts\": {}}}",
+                jstr(name),
+                insts,
+                jfield(&code),
+                jfield(&fns),
+                jfield(&deopts)
+            ));
+        }
+        print!(
+            "{}",
+            render_table(
+                "Executor tiers: bytecode and native footprint per kernel",
+                &["kernel", "bc insts", "jit bytes", "jit fns", "jit deopts"],
+                &rows
+            )
+        );
+        sections.push(format!("  \"exec_tiers\": {{{}}}", cells.join(", ")));
+    }
+
     if want("cache") {
         // Compile-cache demo: a private service with a fresh store
         // directory, exercised cold -> memory hit -> disk hit. Only
@@ -264,6 +322,30 @@ fn main() {
             st.compiles, st.memory_hits, st.disk_hits, st.dedup_waits, st.busy_rejections, st.corrupt_artifacts
         ));
         let _ = std::fs::remove_dir_all(&dir);
+
+        // The per-machine bytecode LRU sits in front of the service: run
+        // the sgemm program twice on one machine and show the capacity,
+        // occupancy, and hit/miss/eviction counters (the same numbers the
+        // telemetry timeline mirrors as `vm / bc-cache *`).
+        let (lf, _, _) = kernels::sgemm::layer1(1.0, 1.0);
+        let module = tiramisu::compile_cpu(
+            &lf,
+            &[("N", 32)],
+            tiramisu::CpuOptions { check_legality: false, ..Default::default() },
+        )
+        .expect("sgemm compile");
+        let mut m = module.machine();
+        m.run(&module.program).expect("run 1");
+        m.run(&module.program).expect("run 2");
+        let cs = m.cache_stats();
+        println!(
+            "  machine bc-cache: capacity={} occupancy={} hits={} misses={} evictions={}\n",
+            m.cache_capacity(),
+            m.cache_len(),
+            cs.hits,
+            cs.misses,
+            cs.evictions
+        );
     }
 
     // Global compile-service counters for this invocation. With

@@ -50,6 +50,10 @@ pub struct CpuModule {
     pub param_values: Vec<(String, i64)>,
     trace: Option<CompileTrace>,
     bytecode: Option<loopvm::BcProgram>,
+    /// Native code compiled from `bytecode` by the `optimize` pass when
+    /// the JIT tier is available. Never serialized: artifacts carry the
+    /// portable bytecode and reconstruction recompiles for the host.
+    jit: Option<std::sync::Arc<loopvm::jit::JitProgram>>,
 }
 
 impl CpuModule {
@@ -76,6 +80,15 @@ impl CpuModule {
         self.bytecode.as_ref()
     }
 
+    /// The native x86-64 entry compiled from the bytecode by the
+    /// `optimize` pass — `None` on targets without the JIT tier or for
+    /// programs the JIT declines. Run it with
+    /// [`loopvm::Machine::run_jit`] to skip both bytecode and JIT
+    /// compilation per run.
+    pub fn jit(&self) -> Option<&loopvm::jit::JitProgram> {
+        self.jit.as_deref()
+    }
+
     /// Disassembles the optimized bytecode (see `DESIGN.md` §10 for the
     /// format).
     pub fn disasm(&self) -> Option<String> {
@@ -92,7 +105,10 @@ impl CpuModule {
         param_values: Vec<(String, i64)>,
         bytecode: Option<loopvm::BcProgram>,
     ) -> CpuModule {
-        CpuModule { program, buffer_map, param_values, trace: None, bytecode }
+        // Artifacts never carry native code; recompile for this host.
+        let jit =
+            bytecode.as_ref().and_then(loopvm::jit::compile).map(std::sync::Arc::new);
+        CpuModule { program, buffer_map, param_values, trace: None, bytecode, jit }
     }
 
     /// The Tiramisu-name → VM-buffer map (for the artifact codec).
@@ -207,6 +223,7 @@ impl EmitTarget for CpuTarget {
             param_values: lm.param_vals.iter().map(|(k, v)| (k.clone(), *v)).collect(),
             trace: None,
             bytecode: None,
+            jit: None,
         })
     }
 
@@ -223,6 +240,7 @@ impl EmitTarget for CpuTarget {
         } else {
             stats.summary()
         };
+        module.jit = loopvm::jit::compile(&bc).map(std::sync::Arc::new);
         module.bytecode = Some(bc);
         Ok(Some((stats, ir)))
     }

@@ -188,7 +188,9 @@ pub fn compile_phases(kernel: &Kernel) -> Result<Vec<BcProgram>> {
 }
 
 fn tree_walk_forced() -> bool {
-    telemetry::env_flag("GPUSIM_TREEWALK")
+    // Consolidated executor-mode parsing; the warp executor has no native
+    // tier, so the only outcomes here are TreeWalk and Bytecode.
+    loopvm::ExecMode::from_env("GPUSIM_TREEWALK", false) == loopvm::ExecMode::TreeWalk
 }
 
 /// Seeds per-warp variable frames and active masks for one block.

@@ -8,7 +8,8 @@
 //! re-established. Decoding therefore *validates* everything the
 //! optimizer normally guarantees — register indices within the declared
 //! files, variable slots within the frame, buffer ids within the
-//! program's table — and rejects anything else with a [`WireError`]
+//! program's table — and rejects anything else with a
+//! [`WireError`](artifacts::WireError)
 //! instead of handing the trusting executor an out-of-range index.
 //!
 //! [`decode_program`] rebuilds the program through the ordinary builders

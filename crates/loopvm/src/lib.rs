@@ -50,6 +50,7 @@ pub mod cache;
 pub mod codec;
 pub mod cost;
 pub mod expr;
+pub mod jit;
 pub mod opt;
 pub mod program;
 pub mod simt;

@@ -283,7 +283,7 @@ fn compile_stmt(s: &Stmt) -> Result<CStmt> {
 // Buffers (shared across worker threads)
 // ---------------------------------------------------------------------------
 
-struct SharedBuf {
+pub(crate) struct SharedBuf {
     name: String,
     data: UnsafeCell<Box<[f32]>>,
 }
@@ -324,6 +324,22 @@ impl SharedBuf {
         }
         Ok(())
     }
+
+    /// Buffer name, as reported in [`Error::OutOfBounds`].
+    pub(crate) fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Element count.
+    pub(crate) fn len(&self) -> usize {
+        unsafe { &*self.data.get() }.len()
+    }
+
+    /// Raw element pointer for the JIT's buffer descriptor table. Aliasing
+    /// follows the same rules as `get`/`set` (see the `Sync` safety note).
+    pub(crate) fn data_ptr(&self) -> *mut f32 {
+        unsafe { &mut *self.data.get() }.as_mut_ptr()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -341,6 +357,37 @@ pub enum ExecMode {
     /// bytecode is differentially tested against. Also selectable
     /// process-wide with the `LOOPVM_TREEWALK` environment variable.
     TreeWalk,
+    /// Native x86-64 code generated by [`crate::jit`]: the default on
+    /// supported targets (opt out with `LOOPVM_JIT=0`). Programs the JIT
+    /// cannot compile — and all programs on unsupported targets — run on
+    /// the bytecode interpreter instead, with identical observable
+    /// behavior.
+    Jit,
+}
+
+impl ExecMode {
+    /// The one place executor-mode environment variables are interpreted
+    /// (all per [`telemetry::env_flag`] semantics).
+    ///
+    /// `treewalk_var` names the caller's tree-walk override
+    /// (`LOOPVM_TREEWALK` for [`Machine`], `GPUSIM_TREEWALK` for the GPU
+    /// simulator) and wins when set. Otherwise, when the caller supports
+    /// the native tier (`allow_jit`) and the target does, `Jit` is
+    /// selected unless `LOOPVM_JIT` is set to an off value (`0` or
+    /// empty); everything else resolves to `Bytecode`.
+    #[must_use]
+    pub fn from_env(treewalk_var: &str, allow_jit: bool) -> ExecMode {
+        if telemetry::env_flag(treewalk_var) {
+            ExecMode::TreeWalk
+        } else if allow_jit
+            && crate::jit::supported()
+            && (std::env::var_os("LOOPVM_JIT").is_none() || telemetry::env_flag("LOOPVM_JIT"))
+        {
+            ExecMode::Jit
+        } else {
+            ExecMode::Bytecode
+        }
+    }
 }
 
 /// An execution machine holding the buffer storage for a [`Program`].
@@ -356,7 +403,25 @@ pub struct Machine {
     /// and a driver alternating between a few programs (e.g. the
     /// differential harness's per-backend variants) keeps all of them
     /// warm. Bounded — see [`Machine::set_cache_capacity`].
-    bc_cache: crate::cache::Lru<u64, BcProgram>,
+    bc_cache: crate::cache::Lru<u64, CachedProgram>,
+}
+
+/// One [`Machine`] cache entry: the bytecode plus its native compilation
+/// state. JIT compilation is lazy (first `run` in [`ExecMode::Jit`]) and
+/// attempted once — an unsupported program stays on the interpreter
+/// without retrying per run.
+struct CachedProgram {
+    bc: BcProgram,
+    jit: JitSlot,
+}
+
+enum JitSlot {
+    /// No JIT compile attempted yet (fresh entry, or only interpreted).
+    NotTried,
+    /// The JIT declined this program; run the bytecode interpreter.
+    Unsupported,
+    /// Compiled native code, shared so `run` can release the cache borrow.
+    Ready(std::sync::Arc<crate::jit::JitProgram>),
 }
 
 /// Default [`Machine`] bytecode-cache capacity (entries). Big enough to
@@ -418,6 +483,11 @@ impl Machine {
     /// The compiled-bytecode cache's capacity bound.
     pub fn cache_capacity(&self) -> usize {
         self.bc_cache.capacity()
+    }
+
+    /// Entries currently resident in the compiled-bytecode cache.
+    pub fn cache_len(&self) -> usize {
+        self.bc_cache.len()
     }
 
     /// Hit/miss/eviction counters of the compiled-bytecode cache. Only
@@ -493,19 +563,64 @@ impl Machine {
     /// runtime.
     pub fn run(&mut self, p: &Program) -> Result<()> {
         match self.mode {
-            ExecMode::Bytecode => {
+            ExecMode::Bytecode | ExecMode::Jit => {
                 // Take (not borrow) the cached program so `run_bytecode`
                 // can borrow `self` mutably, then put it back as MRU.
                 let fp = p.fingerprint();
-                let bc = match self.bc_cache.take(&fp) {
-                    Some(bc) => bc,
-                    None => crate::opt::compile_program(p)?,
+                let mut entry = match self.bc_cache.take(&fp) {
+                    Some(e) => e,
+                    None => CachedProgram {
+                        bc: crate::opt::compile_program(p)?,
+                        jit: JitSlot::NotTried,
+                    },
                 };
-                let r = self.run_bytecode(&bc);
-                self.bc_cache.insert(fp, bc);
+                // The bytecode profiler lives in the interpreter, so
+                // profiled runs stay on bytecode even in Jit mode.
+                let want_jit = self.mode == ExecMode::Jit && !telemetry::profile_enabled();
+                if want_jit && matches!(entry.jit, JitSlot::NotTried) {
+                    entry.jit = match crate::jit::compile(&entry.bc) {
+                        Some(j) => JitSlot::Ready(std::sync::Arc::new(j)),
+                        None => JitSlot::Unsupported,
+                    };
+                }
+                let r = match (&entry.jit, want_jit) {
+                    (JitSlot::Ready(j), true) => {
+                        let j = std::sync::Arc::clone(j);
+                        self.run_jit(&j)
+                    }
+                    _ => self.run_bytecode(&entry.bc),
+                };
+                self.bc_cache.insert(fp, entry);
+                self.mirror_cache_counters();
                 r
             }
             ExecMode::TreeWalk => self.run_inner::<false>(p).map(|_| ()),
+        }
+    }
+
+    /// Runs compiled native code (see [`crate::jit::compile`]) against
+    /// this machine's buffers — the JIT analog of
+    /// [`Machine::run_bytecode`] for callers that amortize compilation.
+    /// The program must have been compiled from bytecode for the same
+    /// [`Program`] this machine was built for.
+    ///
+    /// # Errors
+    ///
+    /// Out-of-bounds accesses at runtime, identical to the interpreter's.
+    pub fn run_jit(&mut self, j: &crate::jit::JitProgram) -> Result<()> {
+        let _sp = telemetry::span("vm", "run_jit");
+        j.run(&self.bufs, self.threads, &[])
+    }
+
+    /// Samples the bytecode cache's cumulative hit/miss/eviction counters
+    /// into the telemetry timeline (next to the `service` cache tiers).
+    /// No-op when profiling is off.
+    fn mirror_cache_counters(&self) {
+        if telemetry::profile_enabled() {
+            let s = self.bc_cache.stats();
+            telemetry::counter("vm", "bc-cache hits", s.hits as f64);
+            telemetry::counter("vm", "bc-cache misses", s.misses as f64);
+            telemetry::counter("vm", "bc-cache evictions", s.evictions as f64);
         }
     }
 
@@ -672,11 +787,7 @@ fn default_threads() -> usize {
 }
 
 fn default_exec_mode() -> ExecMode {
-    if telemetry::env_flag("LOOPVM_TREEWALK") {
-        ExecMode::TreeWalk
-    } else {
-        ExecMode::Bytecode
-    }
+    ExecMode::from_env("LOOPVM_TREEWALK", true)
 }
 
 // ---------------------------------------------------------------------------
@@ -1648,8 +1759,10 @@ fn bc_exec_parallel(
     }
 }
 
-/// Mirror of [`body_vectorizable`] for the optimized format.
-fn bc_body_vectorizable(body: &[BcStmt]) -> bool {
+/// Mirror of [`body_vectorizable`] for the optimized format. Also the
+/// JIT's criterion for lane-grouped `Vectorize` loops, so both tiers
+/// vectorize exactly the same loops.
+pub(crate) fn bc_body_vectorizable(body: &[BcStmt]) -> bool {
     body.iter().all(|s| matches!(s, BcStmt::Store { .. } | BcStmt::Let { .. }))
 }
 
@@ -1950,6 +2063,9 @@ mod tests {
         let (p1, _, _) = saxpy_program(LoopKind::Serial, 10);
         let (p2, _, _) = saxpy_program(LoopKind::Unroll(2), 10);
         let mut m = Machine::new(&p1);
+        // Pin a cache-using mode so LOOPVM_TREEWALK in the environment
+        // can't reroute `run` around the LRU under test.
+        m.set_exec_mode(ExecMode::Bytecode);
         assert_eq!(m.cache_capacity(), DEFAULT_BC_CACHE_CAPACITY);
 
         m.run(&p1).unwrap(); // miss, compiles

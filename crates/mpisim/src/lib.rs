@@ -732,7 +732,7 @@ fn run_rank(
     // `init` hook) selects the chunk executor: memoized optimized
     // bytecode shared across ranks, or the tree-walk reference. Stats
     // gathering needs the tree-walk's cost accounting.
-    let use_bc = machine.exec_mode() == loopvm::ExecMode::Bytecode && !opts.stats_mode;
+    let use_bc = machine.exec_mode() != loopvm::ExecMode::TreeWalk && !opts.stats_mode;
     let mut compute = RunStats::default();
     let mut counters = RankCounters::default();
     let bindings = [(dist.rank_var, rank as i64)];

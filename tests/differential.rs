@@ -213,12 +213,10 @@ fn diff_service() -> &'static tiramisu::CompileService {
     })
 }
 
-fn run_cpu(module: &tiramisu::CpuModule, tree_walk: bool) -> Vec<Vec<u32>> {
+fn run_cpu(module: &tiramisu::CpuModule, mode: loopvm::ExecMode) -> Vec<Vec<u32>> {
     let mut m = module.machine();
     m.set_threads(2);
-    if tree_walk {
-        m.set_exec_mode(loopvm::ExecMode::TreeWalk);
-    }
+    m.set_exec_mode(mode);
     fill(m.buffer_mut(module.vm_buffer("in").unwrap()), 7);
     m.run(&module.program).unwrap();
     (0..module.program.n_buffers())
@@ -254,22 +252,27 @@ proptest! {
             return Ok(());
         }
 
-        // --- CPU: scheduled, bytecode vs tree-walk ---------------------
+        // --- CPU: scheduled, jit vs bytecode vs tree-walk --------------
         let (mut f, bx, by) = build(&alg);
         apply_sched(&mut f, bx, &sched1);
         if let Some(by) = by {
             apply_sched(&mut f, by, &sched2);
         }
         let module = compile_cpu(&f, &[("N", N), ("M", M)], CpuOptions::default()).unwrap();
-        let fast = run_cpu(&module, false);
-        let reference = run_cpu(&module, true);
+        let fast = run_cpu(&module, loopvm::ExecMode::Bytecode);
+        let reference = run_cpu(&module, loopvm::ExecMode::TreeWalk);
         prop_assert_eq!(&fast, &reference, "bytecode vs tree-walk: {:?}", &alg);
+        // The native tier must agree bit-for-bit too. Off x86-64/Linux
+        // Jit mode falls back to the interpreter, so this lane still
+        // passes (trivially) with zero changes.
+        let jitted = run_cpu(&module, loopvm::ExecMode::Jit);
+        prop_assert_eq!(&fast, &jitted, "bytecode vs jit: {:?}", &alg);
 
         // The unscheduled program must compute the same values (schedule
         // commands are semantics-preserving by construction).
         let (f0, _, _) = build(&alg);
         let module0 = compile_cpu(&f0, &[("N", N), ("M", M)], CpuOptions::default()).unwrap();
-        let unscheduled = run_cpu(&module0, false);
+        let unscheduled = run_cpu(&module0, loopvm::ExecMode::Bytecode);
         let out_name = if alg.stage2.is_some() { "by" } else { "bxb" };
         let out_idx = |m: &tiramisu::CpuModule| m.vm_buffer(out_name).unwrap().index();
         prop_assert_eq!(
@@ -294,7 +297,7 @@ proptest! {
             "second request did not decode from disk: {:?}", &alg
         );
         prop_assert_eq!(&cached.program, &module.program, "decoded program differs: {:?}", &alg);
-        let cached_run = run_cpu(&cached, false);
+        let cached_run = run_cpu(&cached, loopvm::ExecMode::Jit);
         prop_assert_eq!(&fast, &cached_run, "cached vs fresh execution: {:?}", &alg);
 
         // --- GPU backend ----------------------------------------------
@@ -396,4 +399,133 @@ proptest! {
             "dist bytecode vs tree-walk: {:?}", &alg
         );
     }
+}
+
+// ----------------------------------------------------- trap differential --
+
+/// Runs `p` under `mode` and reduces the observable outcome to a string:
+/// `ok`, the runtime `Error`'s display text, or the panic payload text.
+/// The JIT deopts to the interpreter's scalar helpers on every trapping
+/// instruction, so all three executors must produce the *same* string.
+fn trap_outcome(p: &loopvm::Program, mode: loopvm::ExecMode) -> String {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    let mut m = loopvm::Machine::new(p);
+    m.set_threads(2);
+    m.set_exec_mode(mode);
+    match catch_unwind(AssertUnwindSafe(|| m.run(p))) {
+        Ok(Ok(())) => "ok".to_string(),
+        Ok(Err(e)) => format!("err: {e}"),
+        Err(payload) => {
+            let text = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic>".to_string());
+            format!("panic: {text}")
+        }
+    }
+}
+
+/// Traps (out-of-bounds accesses, division by zero) must produce the
+/// identical error or panic on the JIT, bytecode, and tree-walk tiers —
+/// values agreeing is not enough, the failure paths must agree too.
+#[test]
+fn traps_agree_across_executors() {
+    use loopvm::{Expr, LoopKind, Program, Stmt};
+
+    // Panics from the deliberately-trapping programs below are expected;
+    // silence the default hook's backtrace spew for this test.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut cases: Vec<(&str, Program, &str)> = Vec::new();
+
+    // Store past the end of a buffer inside a serial loop.
+    let mut p = Program::new();
+    let a = p.buffer("A", 4);
+    let i = p.var("i");
+    p.push(Stmt::serial(
+        i,
+        Expr::i64(0),
+        Expr::i64(8),
+        vec![Stmt::store(a, Expr::var(i), Expr::f32(1.0))],
+    ));
+    cases.push(("serial store oob", p, "err: out of bounds: A[4] (size 4)"));
+
+    // Load past the end inside a vectorized loop (the JIT's unrolled
+    // 8-lane chunk must trap on the same lane the interpreter does).
+    let mut p = Program::new();
+    let a = p.buffer("A", 8);
+    let b = p.buffer("B", 8);
+    let i = p.var("i");
+    p.push(Stmt::for_(
+        i,
+        Expr::i64(0),
+        Expr::i64(8),
+        LoopKind::Vectorize(8),
+        vec![Stmt::store(b, Expr::var(i), Expr::load(a, Expr::var(i) + Expr::i64(1)))],
+    ));
+    cases.push(("vector load oob", p, "err: out of bounds: A[8] (size 8)"));
+
+    // Store out of bounds inside a parallel loop: the host must surface
+    // the first failing worker's error (spawn order), on every tier.
+    let mut p = Program::new();
+    let a = p.buffer("A", 4);
+    let i = p.var("i");
+    p.push(Stmt::for_(
+        i,
+        Expr::i64(0),
+        Expr::i64(8),
+        LoopKind::Parallel,
+        vec![Stmt::store(a, Expr::var(i), Expr::f32(1.0))],
+    ));
+    cases.push(("parallel store oob", p, "err: out of bounds: A[4] (size 4)"));
+
+    // Integer division by zero panics (4 / i at i = 0), with the exact
+    // libcore message on every tier.
+    let mut p = Program::new();
+    let a = p.buffer("A", 8);
+    let i = p.var("i");
+    p.push(Stmt::serial(
+        i,
+        Expr::i64(0),
+        Expr::i64(4),
+        vec![Stmt::store(a, Expr::i64(4) / Expr::var(i), Expr::f32(1.0))],
+    ));
+    cases.push(("div by zero", p, "panic: attempt to divide by zero"));
+
+    // Remainder by zero ((i + 1) % i at i = 0).
+    let mut p = Program::new();
+    let a = p.buffer("A", 8);
+    let i = p.var("i");
+    p.push(Stmt::serial(
+        i,
+        Expr::i64(0),
+        Expr::i64(4),
+        vec![Stmt::store(a, (Expr::var(i) + Expr::i64(1)) % Expr::var(i), Expr::f32(1.0))],
+    ));
+    cases.push((
+        "rem by zero",
+        p,
+        "panic: attempt to calculate the remainder with a divisor of zero",
+    ));
+
+    let mut failures = Vec::new();
+    for (name, p, expected) in &cases {
+        let jit = trap_outcome(p, loopvm::ExecMode::Jit);
+        let bc = trap_outcome(p, loopvm::ExecMode::Bytecode);
+        let tw = trap_outcome(p, loopvm::ExecMode::TreeWalk);
+        if bc != *expected {
+            failures.push(format!("{name}: bytecode produced {bc:?}, expected {expected:?}"));
+        }
+        if jit != bc {
+            failures.push(format!("{name}: jit produced {jit:?}, bytecode {bc:?}"));
+        }
+        if tw != bc {
+            failures.push(format!("{name}: tree-walk produced {tw:?}, bytecode {bc:?}"));
+        }
+    }
+
+    std::panic::set_hook(prev_hook);
+    assert!(failures.is_empty(), "trap outcomes diverged:\n{}", failures.join("\n"));
 }

@@ -116,6 +116,29 @@ fn gemm_bytecode_disassembly_is_pinned() {
     assert!(stats.insts < stats.tree_nodes, "no shrink: {}", stats.summary());
 }
 
+/// The native tier's generated code for gemm is pinned too: the textual
+/// x86-64 listing the JIT encoder emits alongside the machine bytes is
+/// deterministic (helper calls are shown symbolically), so regressions in
+/// register allocation, trap guards, or loop chaining show up as a diff.
+/// x86-64-Linux-only: elsewhere `jit::compile` returns `None` by design.
+#[cfg(all(target_arch = "x86_64", target_os = "linux"))]
+#[test]
+fn gemm_jit_x86_64_listing_is_pinned() {
+    let f = gemm();
+    let module = compile_cpu(
+        &f,
+        &[("N", 8)],
+        CpuOptions { check_legality: false, ..Default::default() },
+    )
+    .unwrap();
+    let jit = module.jit().expect("gemm must be JIT-compilable on x86-64");
+    assert_golden("gemm_jit_x86_64", jit.listing());
+    // Sanity on the shape: one main function, real code, and deopt stubs
+    // for every trapping load/store in the inner loop.
+    assert!(jit.code_len() > 0, "empty code buffer");
+    assert!(jit.n_deopts() > 0, "gemm's loads/stores should carry deopt stubs");
+}
+
 #[test]
 fn blur_bytecode_disassembly_is_pinned() {
     let f = blur();
