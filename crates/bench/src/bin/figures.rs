@@ -3,12 +3,24 @@
 //! ```text
 //! cargo run --release -p bench --bin figures -- all
 //! cargo run --release -p bench --bin figures -- fig1 table1 fig5 fig6 fig7 profile tiers cache
+//! cargo run --release -p bench --bin figures -- check     # perf-regression gate
+//! cargo run --release -p bench --bin figures -- bless     # re-measure wall baselines
+//! cargo run --release -p bench --bin figures -- overhead  # always-on telemetry cost
 //! ```
 //!
 //! `all` (or no argument) additionally writes `BENCH_figures.json` at the
 //! workspace root: a machine-readable snapshot of every figure. Modeled
 //! time is deterministic, so the snapshot is stable across hosts and is
-//! committed for drift tracking.
+//! committed for drift tracking. The snapshot's `baselines` section is
+//! the one exception — committed min-of-N wall times — and is carried
+//! over verbatim on regeneration; `bless` re-measures it on this host.
+//!
+//! `check` is the perf-regression gate (run in CI): it recomputes every
+//! deterministic section and compares it exactly against the committed
+//! snapshot, then re-measures the wall baselines and applies each one's
+//! tolerance factor. Exits non-zero on any regression.
+//! `TIRAMISU_PERF_GATE=0` skips the wall-clock half (the deterministic
+//! half always runs).
 //!
 //! `profile` runs the Figure 1 sgemm Tiramisu schedule under the
 //! bytecode profiler and prints the telemetry report; its deterministic
@@ -17,6 +29,7 @@
 //! Chrome trace (`TIRAMISU_PROFILE_OUT` or `figures.trace.json`).
 
 use bench::{default_img, fig1_cpu, fig1_gpu, fig5, fig6, fig7, normalized, render_table, table1};
+use std::time::Instant;
 
 /// Minimal JSON string escape (quotes/backslashes/control chars) — the
 /// vendored serde is a stub, so the snapshot is written by hand.
@@ -67,10 +80,15 @@ fn jrows(rows: &[(String, Vec<Option<f64>>)]) -> String {
     format!("{{{}}}", cells.join(", "))
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let want = |k: &str| args.is_empty() || args.iter().any(|a| a == k || a == "all");
-    let emit_json = args.is_empty() || args.iter().any(|a| a == "all");
+fn snapshot_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_figures.json")
+}
+
+/// Builds (and prints) every deterministic section selected by `want`,
+/// returning the snapshot members as `  "key": value` lines. Wall-clock
+/// baselines are handled separately — everything here is modeled or
+/// counted, identical on every host.
+fn build_sections(want: &dyn Fn(&str) -> bool) -> Vec<String> {
     let mut sections: Vec<String> = Vec::new();
 
     if want("fig1") {
@@ -241,7 +259,8 @@ fn main() {
         // every Figure 6 image kernel, the deterministic footprint of each
         // tier — bytecode instruction count, and where the native backend
         // exists (x86-64 Linux) the JIT's code size, function count, and
-        // deopt-stub count. No timing, so the snapshot is host-stable.
+        // deopt-stub counts, broken down by reason. No timing, so the
+        // snapshot is host-stable.
         let mut progs: Vec<(String, loopvm::Program)> = Vec::new();
         let prep = kernels::sgemm::tiramisu_best(48, 16).expect("sgemm compile");
         progs.push(("sgemm".to_string(), prep.program.clone()));
@@ -256,13 +275,23 @@ fn main() {
             let bc = loopvm::opt::compile_program(p).expect("bytecode compile");
             let insts = bc.stats().insts;
             let jit = loopvm::jit::compile(&bc);
-            let (code, fns, deopts) = match &jit {
-                Some(j) => (
-                    j.code_len().to_string(),
-                    j.n_fns().to_string(),
-                    j.n_deopts().to_string(),
-                ),
-                None => ("-".to_string(), "-".to_string(), "-".to_string()),
+            let (code, fns, deopts, reasons) = match &jit {
+                Some(j) => {
+                    let by = j.deopt_reasons();
+                    // Compact per-reason listing, only non-zero reasons.
+                    let listing: Vec<String> = loopvm::jit::DeoptReason::ALL
+                        .iter()
+                        .filter(|r| by[r.index()] > 0)
+                        .map(|r| format!("{}={}", r.name(), by[r.index()]))
+                        .collect();
+                    (
+                        j.code_len().to_string(),
+                        j.n_fns().to_string(),
+                        j.n_deopts().to_string(),
+                        if listing.is_empty() { "-".to_string() } else { listing.join(" ") },
+                    )
+                }
+                None => ("-".to_string(), "-".to_string(), "-".to_string(), "-".to_string()),
             };
             rows.push(vec![
                 name.clone(),
@@ -270,24 +299,37 @@ fn main() {
                 code.clone(),
                 fns.clone(),
                 deopts.clone(),
+                reasons,
             ]);
             let jfield = |v: &str| {
                 if v == "-" { "null".to_string() } else { v.to_string() }
             };
+            let jreasons = match &jit {
+                Some(j) => {
+                    let by = j.deopt_reasons();
+                    let members: Vec<String> = loopvm::jit::DeoptReason::ALL
+                        .iter()
+                        .map(|r| format!("{}: {}", jstr(r.name()), by[r.index()]))
+                        .collect();
+                    format!("{{{}}}", members.join(", "))
+                }
+                None => "null".to_string(),
+            };
             cells.push(format!(
-                "{}: {{\"bc_insts\": {}, \"jit_code_bytes\": {}, \"jit_fns\": {}, \"jit_deopts\": {}}}",
+                "{}: {{\"bc_insts\": {}, \"jit_code_bytes\": {}, \"jit_fns\": {}, \"jit_deopts\": {}, \"jit_deopt_reasons\": {}}}",
                 jstr(name),
                 insts,
                 jfield(&code),
                 jfield(&fns),
-                jfield(&deopts)
+                jfield(&deopts),
+                jreasons
             ));
         }
         print!(
             "{}",
             render_table(
                 "Executor tiers: bytecode and native footprint per kernel",
-                &["kernel", "bc insts", "jit bytes", "jit fns", "jit deopts"],
+                &["kernel", "bc insts", "jit bytes", "jit fns", "jit deopts", "deopt reasons"],
                 &rows
             )
         );
@@ -326,7 +368,7 @@ fn main() {
         // The per-machine bytecode LRU sits in front of the service: run
         // the sgemm program twice on one machine and show the capacity,
         // occupancy, and hit/miss/eviction counters (the same numbers the
-        // telemetry timeline mirrors as `vm / bc-cache *`).
+        // `vm.bc_cache.*` metrics aggregate process-wide).
         let (lf, _, _) = kernels::sgemm::layer1(1.0, 1.0);
         let module = tiramisu::compile_cpu(
             &lf,
@@ -348,6 +390,215 @@ fn main() {
         );
     }
 
+    sections
+}
+
+// ---------------------------------------------------------------------------
+// Wall-clock baselines
+// ---------------------------------------------------------------------------
+
+/// Runs measured for each baseline (min is taken; one extra warmup run).
+const BASELINE_RUNS: usize = 5;
+
+/// Allowed slowdown factor written by `bless`. Generous on purpose: the
+/// gate exists to catch cliffs (a tier silently degrading, an accidental
+/// quadratic), not CI-runner jitter.
+const DEFAULT_TOLERANCE: f64 = 5.0;
+
+fn min_wall_us(runs: usize, mut f: impl FnMut() -> f64) -> f64 {
+    let _warmup = f();
+    (0..runs).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+/// Measures every wall-clock baseline (name, min-of-N microseconds).
+/// Small shapes, single-digit-millisecond runs: the gate has to be cheap
+/// enough to run on every CI build.
+fn measure_baselines() -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+
+    // Figure 1 sgemm hot path (the default executor ladder end-to-end).
+    let prep = kernels::sgemm::tiramisu_best(96, 32).expect("sgemm compile");
+    out.push((
+        "sgemm_wall_us".to_string(),
+        min_wall_us(BASELINE_RUNS, || {
+            prep.run_wall().expect("sgemm run").0.as_secs_f64() * 1e6
+        }),
+    ));
+
+    // A DNN kernel with a different loop structure (conv).
+    let conv = kernels::dnn::conv_tiramisu(kernels::dnn::ConvSize::small()).expect("conv compile");
+    out.push((
+        "conv_wall_us".to_string(),
+        min_wall_us(BASELINE_RUNS, || {
+            conv.run_wall().expect("conv run").0.as_secs_f64() * 1e6
+        }),
+    ));
+
+    // An image-pipeline kernel (fusion + tiling path).
+    let img = kernels::image::tiramisu_cpu("conv2D", kernels::image::ImgSize::small())
+        .expect("conv2D compile");
+    out.push((
+        "conv2d_wall_us".to_string(),
+        min_wall_us(BASELINE_RUNS, || {
+            img.run_wall().expect("conv2D run").0.as_secs_f64() * 1e6
+        }),
+    ));
+
+    // The GPU simulator end-to-end (bytecode warp executor).
+    let module = kernels::sgemm::gpu_tiled(64, 8).expect("gpu sgemm compile");
+    out.push((
+        "gpu_sgemm_wall_us".to_string(),
+        min_wall_us(BASELINE_RUNS, || {
+            let t0 = Instant::now();
+            kernels::image_gpu::run_gpu(&module).expect("gpu run");
+            t0.elapsed().as_secs_f64() * 1e6
+        }),
+    ));
+
+    // Backend compile latency (scheduling + lowering, no service cache).
+    let (f, _, _) = kernels::sgemm::layer1(1.0, 1.0);
+    out.push((
+        "compile_cpu_us".to_string(),
+        min_wall_us(BASELINE_RUNS, || {
+            let t0 = Instant::now();
+            tiramisu::compile_cpu(
+                &f,
+                &[("N", 32)],
+                tiramisu::CpuOptions { check_legality: false, ..Default::default() },
+            )
+            .expect("compile");
+            t0.elapsed().as_secs_f64() * 1e6
+        }),
+    ));
+
+    out
+}
+
+fn baselines_json(measured: &[(String, f64)]) -> String {
+    let members: Vec<String> = measured
+        .iter()
+        .map(|(n, v)| {
+            format!("{}: {{\"value\": {}, \"tolerance\": {}}}", jstr(n), jnum(*v), DEFAULT_TOLERANCE)
+        })
+        .collect();
+    format!("{{{}}}", members.join(", "))
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands
+// ---------------------------------------------------------------------------
+
+/// The perf-regression gate: deterministic sections strict, wall
+/// baselines tolerance-gated. Returns the process exit code.
+fn run_check() -> i32 {
+    let path = snapshot_path();
+    let src = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("perf gate: cannot read {}: {e}", path.display());
+            return 1;
+        }
+    };
+    let committed = match bench::json::parse(&src) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("perf gate: {} is not valid JSON: {e}", path.display());
+            return 1;
+        }
+    };
+
+    let sections = build_sections(&|_| true);
+    let fresh_src = format!("{{\n{}\n}}\n", sections.join(",\n"));
+    let fresh = bench::json::parse(&fresh_src).expect("fresh snapshot serializes");
+
+    let mut failures = bench::gate::compare_deterministic(&committed, &fresh, &["baselines"]);
+    let det_failures = failures.len();
+
+    let wall_gate = std::env::var("TIRAMISU_PERF_GATE").map_or(true, |v| v != "0");
+    if wall_gate {
+        match committed.get("baselines") {
+            None => failures.push(
+                "no `baselines` section in committed snapshot (regenerate with `figures -- bless`)"
+                    .to_string(),
+            ),
+            Some(b) => match bench::gate::parse_baselines(b) {
+                Err(errs) => failures.extend(errs),
+                Ok(specs) => {
+                    let measured = measure_baselines();
+                    for (n, v) in &measured {
+                        println!("perf gate: measured {n} = {v:.1}us");
+                    }
+                    failures.extend(bench::gate::gate_baselines(&specs, &measured));
+                }
+            },
+        }
+    } else {
+        println!("perf gate: TIRAMISU_PERF_GATE=0, skipping wall-clock baselines");
+    }
+
+    if failures.is_empty() {
+        println!(
+            "perf gate: OK (deterministic sections match{})",
+            if wall_gate { ", wall baselines within tolerance" } else { "" }
+        );
+        0
+    } else {
+        eprintln!(
+            "perf gate: FAILED — {} deterministic drift(s), {} total failure(s):",
+            det_failures,
+            failures.len()
+        );
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        1
+    }
+}
+
+/// Measures the cost of the always-on observability layer (flight
+/// recorder rings + metrics) on the Figure 1 sgemm hot path: interleaved
+/// min-of-N with the recorder forced off vs on. Prints the numbers
+/// recorded in EXPERIMENTS.md.
+fn run_overhead() {
+    const RUNS: usize = 40;
+    let prep = kernels::sgemm::tiramisu_best(96, 32).expect("sgemm compile");
+    prep.run_wall().expect("warmup");
+    let mut off = f64::INFINITY;
+    let mut on = f64::INFINITY;
+    // Interleave so frequency scaling / cache state hits both arms alike.
+    for _ in 0..RUNS {
+        telemetry::flight::set_flight(Some(false));
+        off = off.min(prep.run_wall().expect("run").0.as_secs_f64() * 1e6);
+        telemetry::flight::set_flight(Some(true));
+        on = on.min(prep.run_wall().expect("run").0.as_secs_f64() * 1e6);
+    }
+    telemetry::flight::set_flight(None);
+    let delta = (on - off) / off * 100.0;
+    println!("overhead: sgemm(96,32) hot path, min of {RUNS} interleaved runs");
+    println!("  flight recorder off: {off:.1}us");
+    println!("  flight recorder on:  {on:.1}us");
+    println!("  overhead: {delta:+.2}%");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "check") {
+        std::process::exit(run_check());
+    }
+    if args.iter().any(|a| a == "overhead") {
+        run_overhead();
+        return;
+    }
+
+    let bless = args.iter().any(|a| a == "bless");
+    let want = |k: &str| {
+        args.is_empty() || bless || args.iter().any(|a| a == k || a == "all")
+    };
+    let emit_json = args.is_empty() || bless || args.iter().any(|a| a == "all");
+
+    let mut sections = build_sections(&want);
+
     // Global compile-service counters for this invocation. With
     // `TIRAMISU_CACHE_DIR` set, a second identical run reports its
     // compiles as disk hits; CI greps this line for the warm-cache smoke.
@@ -358,10 +609,24 @@ fn main() {
     );
 
     if emit_json {
+        // Wall-clock baselines: host-dependent, so regeneration carries
+        // the committed section over byte-for-byte (keeping the CI
+        // staleness diff clean); `bless` — or a missing section —
+        // re-measures on this host.
+        let committed_raw = std::fs::read_to_string(snapshot_path())
+            .ok()
+            .and_then(|src| bench::gate::extract_raw_member(&src, "baselines"));
+        let baselines = match (bless, committed_raw) {
+            (false, Some(raw)) => raw,
+            _ => {
+                eprintln!("measuring wall-clock baselines on this host...");
+                baselines_json(&measure_baselines())
+            }
+        };
+        sections.push(format!("  \"baselines\": {baselines}"));
+
         let json = format!("{{\n{}\n}}\n", sections.join(",\n"));
-        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../..")
-            .join("BENCH_figures.json");
+        let path = snapshot_path();
         std::fs::write(&path, json).expect("write BENCH_figures.json");
         eprintln!("wrote {}", path.display());
     }

@@ -17,6 +17,9 @@
 //! `EXPERIMENTS.md` at the workspace root records paper-reported vs
 //! measured values for each figure.
 
+pub mod gate;
+pub mod json;
+
 use kernels::image::ImgSize;
 
 /// One labeled measurement (modeled cycles).

@@ -19,8 +19,12 @@
 //! [`Error::Busy`] so callers see back-pressure instead of unbounded
 //! latency.
 //!
-//! All transitions are counted in [`ServiceStats`] and mirrored into the
-//! telemetry timeline (category `"service"`) when profiling is enabled.
+//! All transitions are counted in always-on [`telemetry::metrics`]
+//! counters ([`ServiceStats`] is a read-only snapshot of them), queue
+//! wait and compile latency feed `service.*_us` histograms, and the
+//! same values are mirrored into the telemetry timeline (category
+//! `"service"`) when profiling is enabled. A corrupt disk artifact
+//! triggers a flight-recorder dump ([`telemetry::flight::dump`]).
 
 mod codec;
 
@@ -33,9 +37,10 @@ use loopvm::Lru;
 use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
+use telemetry::metrics::{Counter, Gauge, Histogram};
 
 /// Artifact section holding the serialized module.
 const SEC_MODULE: &str = "module";
@@ -113,9 +118,10 @@ enum CachedModule {
 
 /// Monotonic counters for every cache transition the service makes.
 ///
-/// Always collected (they are plain relaxed atomics); the same values
-/// are emitted as telemetry counters when profiling is on. Deterministic
-/// for a fixed workload — they count events, never time.
+/// A read-only snapshot of the service's [`telemetry::metrics`]
+/// counters — the counters themselves are the single source of truth
+/// (the old duplicate `AtomicU64` mirror is gone). Deterministic for a
+/// fixed workload — they count events, never time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Requests answered from the in-memory LRU.
@@ -134,20 +140,63 @@ pub struct ServiceStats {
     pub evictions: u64,
 }
 
-#[derive(Default)]
-struct AtomicStats {
-    memory_hits: AtomicU64,
-    disk_hits: AtomicU64,
-    compiles: AtomicU64,
-    dedup_waits: AtomicU64,
-    busy_rejections: AtomicU64,
-    corrupt_artifacts: AtomicU64,
+/// The service's live metrics: [`Counter`]s for every cache transition
+/// plus latency [`Histogram`]s. A private service owns private
+/// instances (so tests assert exact per-instance counts); the [`global`]
+/// service's instances are additionally registered in the process-wide
+/// registry under `service.*`, where they show up in metrics snapshots
+/// and flight-recorder dumps.
+struct ServiceMetrics {
+    memory_hits: Arc<Counter>,
+    disk_hits: Arc<Counter>,
+    compiles: Arc<Counter>,
+    dedup_waits: Arc<Counter>,
+    busy_rejections: Arc<Counter>,
+    corrupt_artifacts: Arc<Counter>,
+    /// Mirror of the memory-tier LRU's eviction count (the LRU is the
+    /// source; the gauge is a registry view refreshed on insert).
+    evictions: Arc<Gauge>,
+    /// Microseconds jobs spent queued before a worker picked them up.
+    queue_wait_us: Arc<Histogram>,
+    /// Microseconds per fresh pass-pipeline compile.
+    compile_us: Arc<Histogram>,
 }
 
-impl AtomicStats {
-    fn bump(&self, which: &AtomicU64, name: &'static str) {
-        let v = which.fetch_add(1, Ordering::Relaxed) + 1;
-        telemetry::counter("service", name, v as f64);
+impl ServiceMetrics {
+    fn private() -> ServiceMetrics {
+        ServiceMetrics {
+            memory_hits: Arc::new(Counter::new()),
+            disk_hits: Arc::new(Counter::new()),
+            compiles: Arc::new(Counter::new()),
+            dedup_waits: Arc::new(Counter::new()),
+            busy_rejections: Arc::new(Counter::new()),
+            corrupt_artifacts: Arc::new(Counter::new()),
+            evictions: Arc::new(Gauge::new()),
+            queue_wait_us: Arc::new(Histogram::new()),
+            compile_us: Arc::new(Histogram::new()),
+        }
+    }
+
+    fn registered() -> ServiceMetrics {
+        use telemetry::metrics as m;
+        ServiceMetrics {
+            memory_hits: m::counter("service.memory_hits"),
+            disk_hits: m::counter("service.disk_hits"),
+            compiles: m::counter("service.compiles"),
+            dedup_waits: m::counter("service.dedup_waits"),
+            busy_rejections: m::counter("service.busy_rejections"),
+            corrupt_artifacts: m::counter("service.corrupt_artifacts"),
+            evictions: m::gauge("service.evictions"),
+            queue_wait_us: m::histogram("service.queue_wait_us"),
+            compile_us: m::histogram("service.compile_us"),
+        }
+    }
+
+    /// Increments a counter and mirrors the new value into the telemetry
+    /// timeline (a view of the counter, not a second copy).
+    fn bump(&self, which: &Counter, name: &'static str) {
+        which.inc();
+        telemetry::counter("service", name, which.get() as f64);
     }
 }
 
@@ -162,6 +211,8 @@ struct Job {
     params: Vec<(String, i64)>,
     req: Request,
     slot: Arc<JobSlot>,
+    /// When the job entered the queue (feeds `service.queue_wait_us`).
+    enqueued: Instant,
 }
 
 /// Rendezvous for single-flight waiters: filled exactly once by the
@@ -202,8 +253,16 @@ struct Shared {
     /// Wakes workers when the queue gains a job (or on shutdown).
     work_cv: Condvar,
     store: Option<ArtifactStore>,
-    stats: AtomicStats,
+    metrics: ServiceMetrics,
     queue_capacity: usize,
+}
+
+impl Shared {
+    /// Refreshes the eviction gauge from the memory LRU (called with the
+    /// state lock held, after any insert that may have evicted).
+    fn sync_evictions(&self, st: &State) {
+        self.metrics.evictions.set(st.memory.stats().evictions);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -222,23 +281,35 @@ pub struct ServiceConfig {
     /// Directory for the persistent artifact store; `None` disables the
     /// disk tier.
     pub cache_dir: Option<PathBuf>,
+    /// Register this service's counters/histograms in the process-wide
+    /// [`telemetry::metrics`] registry under `service.*`. Off by default
+    /// (private services keep private counters, so tests can assert
+    /// exact per-instance counts); the [`global`] service registers.
+    pub register_metrics: bool,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        ServiceConfig { workers: 2, queue_capacity: 64, memory_capacity: 32, cache_dir: None }
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 64,
+            memory_capacity: 32,
+            cache_dir: None,
+            register_metrics: false,
+        }
     }
 }
 
 impl ServiceConfig {
     /// Default configuration plus a disk tier at `TIRAMISU_CACHE_DIR`
-    /// when that variable is set and non-empty.
+    /// when that variable is set and non-empty. Metrics are registered
+    /// process-wide: this is the configuration of the [`global`] service.
     pub fn from_env() -> ServiceConfig {
         let cache_dir = std::env::var(artifacts::CACHE_DIR_ENV)
             .ok()
             .filter(|v| !v.is_empty())
             .map(PathBuf::from);
-        ServiceConfig { cache_dir, ..ServiceConfig::default() }
+        ServiceConfig { cache_dir, register_metrics: true, ..ServiceConfig::default() }
     }
 }
 
@@ -269,7 +340,11 @@ impl CompileService {
             }),
             work_cv: Condvar::new(),
             store,
-            stats: AtomicStats::default(),
+            metrics: if config.register_metrics {
+                ServiceMetrics::registered()
+            } else {
+                ServiceMetrics::private()
+            },
             queue_capacity: config.queue_capacity.max(1),
         });
         let workers = (0..config.workers.max(1))
@@ -327,19 +402,28 @@ impl CompileService {
         }
     }
 
-    /// Snapshot of the service counters.
+    /// Snapshot of the service counters (read from the live metrics; no
+    /// second copy is maintained anywhere).
     pub fn stats(&self) -> ServiceStats {
-        let s = &self.shared.stats;
+        let m = &self.shared.metrics;
         let evictions = self.shared.state.lock().unwrap().memory.stats().evictions;
         ServiceStats {
-            memory_hits: s.memory_hits.load(Ordering::Relaxed),
-            disk_hits: s.disk_hits.load(Ordering::Relaxed),
-            compiles: s.compiles.load(Ordering::Relaxed),
-            dedup_waits: s.dedup_waits.load(Ordering::Relaxed),
-            busy_rejections: s.busy_rejections.load(Ordering::Relaxed),
-            corrupt_artifacts: s.corrupt_artifacts.load(Ordering::Relaxed),
+            memory_hits: m.memory_hits.get(),
+            disk_hits: m.disk_hits.get(),
+            compiles: m.compiles.get(),
+            dedup_waits: m.dedup_waits.get(),
+            busy_rejections: m.busy_rejections.get(),
+            corrupt_artifacts: m.corrupt_artifacts.get(),
             evictions,
         }
+    }
+
+    /// Point-in-time `(queue_wait, compile_latency)` histograms in
+    /// microseconds, with p50/p95/p99 available on each snapshot.
+    pub fn latency_snapshots(
+        &self,
+    ) -> (telemetry::metrics::HistogramSnapshot, telemetry::metrics::HistogramSnapshot) {
+        (self.shared.metrics.queue_wait_us.snapshot(), self.shared.metrics.compile_us.snapshot())
     }
 
     /// Drops every module from the memory tier (the disk tier is
@@ -376,13 +460,13 @@ impl CompileService {
             if let Some(m) = st.memory.get(&key) {
                 let m = m.clone();
                 drop(st);
-                shared.stats.bump(&shared.stats.memory_hits, "memory_hits");
+                shared.metrics.bump(&shared.metrics.memory_hits, "memory_hits");
                 return Ok(m);
             }
             if let Some(slot) = st.inflight.get(&key) {
                 let slot = Arc::clone(slot);
                 drop(st);
-                shared.stats.bump(&shared.stats.dedup_waits, "dedup_waits");
+                shared.metrics.bump(&shared.metrics.dedup_waits, "dedup_waits");
                 return slot.wait();
             }
             // We own this key: register the slot before touching disk so
@@ -398,18 +482,22 @@ impl CompileService {
             if let Some(art) = store.get(key) {
                 match decode_artifact(&art, &req) {
                     Ok(m) => {
-                        shared.stats.bump(&shared.stats.disk_hits, "disk_hits");
+                        shared.metrics.bump(&shared.metrics.disk_hits, "disk_hits");
                         let mut st = shared.state.lock().unwrap();
                         st.memory.insert(key, m.clone());
+                        shared.sync_evictions(&st);
                         st.inflight.remove(&key);
                         drop(st);
                         slot.fill(Ok(m.clone()));
                         return Ok(m);
                     }
                     Err(e) => {
-                        shared.stats.bump(&shared.stats.corrupt_artifacts, "corrupt_artifacts");
+                        shared.metrics.bump(&shared.metrics.corrupt_artifacts, "corrupt_artifacts");
                         telemetry::instant("service", format!("corrupt_artifact:{e}"));
                         store.remove(key);
+                        // A corrupt artifact means on-disk state went bad:
+                        // preserve the evidence trail for inspection.
+                        telemetry::flight::dump("corrupt-artifact");
                     }
                 }
             }
@@ -421,7 +509,7 @@ impl CompileService {
             if st.queue.len() >= shared.queue_capacity {
                 st.inflight.remove(&key);
                 drop(st);
-                shared.stats.bump(&shared.stats.busy_rejections, "busy_rejections");
+                shared.metrics.bump(&shared.metrics.busy_rejections, "busy_rejections");
                 let err = Error::Busy(format!(
                     "queue full ({} jobs) compiling {}",
                     shared.queue_capacity, f.name
@@ -437,6 +525,7 @@ impl CompileService {
                 params: params.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
                 req,
                 slot: Arc::clone(&slot),
+                enqueued: Instant::now(),
             });
             telemetry::counter("service", "queue_depth", st.queue.len() as f64);
         }
@@ -469,6 +558,7 @@ fn worker_loop(shared: &Shared) {
             loop {
                 if let Some(job) = st.queue.pop_front() {
                     telemetry::counter("service", "queue_depth", st.queue.len() as f64);
+                    shared.metrics.queue_wait_us.record_duration(job.enqueued.elapsed());
                     break job;
                 }
                 if st.shutdown {
@@ -485,7 +575,8 @@ fn run_job(shared: &Shared, job: Job) {
     let _span =
         telemetry::span("service", format!("compile:{}:{}", job.req.backend(), job.f.name));
     let params: Vec<(&str, i64)> = job.params.iter().map(|(k, v)| (k.as_str(), *v)).collect();
-    shared.stats.bump(&shared.stats.compiles, "compiles");
+    shared.metrics.bump(&shared.metrics.compiles, "compiles");
+    let t0 = Instant::now();
     let result = match &job.req {
         Request::Cpu(o) => {
             cpu::compile(&job.f, &params, o.clone()).map(|m| CachedModule::Cpu(Arc::new(m)))
@@ -497,12 +588,14 @@ fn run_job(shared: &Shared, job: Job) {
             dist::compile(&job.f, &params, o.clone()).map(|m| CachedModule::Dist(Arc::new(m)))
         }
     };
+    shared.metrics.compile_us.record_duration(t0.elapsed());
     if let Ok(m) = &result {
         persist(shared, job.key, &encode_for_store(m));
     }
     let mut st = shared.state.lock().unwrap();
     if let Ok(m) = &result {
         st.memory.insert(job.key, m.clone());
+        shared.sync_evictions(&st);
     }
     st.inflight.remove(&job.key);
     drop(st);

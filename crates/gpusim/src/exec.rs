@@ -282,6 +282,26 @@ pub fn launch_precompiled(
     }
 }
 
+/// Always-on launch metrics, accumulated across every launch in the
+/// process by both executors (the per-launch numbers stay on the
+/// returned [`LaunchStats`]).
+fn record_launch_metrics(total: &LaunchStats) {
+    struct GpuMetrics {
+        launches: std::sync::Arc<telemetry::metrics::Counter>,
+        divergent_branches: std::sync::Arc<telemetry::metrics::Counter>,
+        bank_conflicts: std::sync::Arc<telemetry::metrics::Counter>,
+    }
+    static M: std::sync::OnceLock<GpuMetrics> = std::sync::OnceLock::new();
+    let m = M.get_or_init(|| GpuMetrics {
+        launches: telemetry::metrics::counter("gpu.launches"),
+        divergent_branches: telemetry::metrics::counter("gpu.divergent_branches"),
+        bank_conflicts: telemetry::metrics::counter("gpu.bank_conflicts"),
+    });
+    m.launches.inc();
+    m.divergent_branches.add(total.divergent_branches);
+    m.bank_conflicts.add(total.bank_conflict_degree);
+}
+
 /// Launches a kernel with the tree-walk reference executor regardless of
 /// the `GPUSIM_TREEWALK` setting (the differential baseline).
 ///
@@ -348,6 +368,7 @@ pub fn launch_tree_walk(
         sm_cycles[sm] += block_cycles;
     }
     total.cycles = sm_cycles.iter().cloned().fold(0.0, f64::max);
+    record_launch_metrics(&total);
     Ok(total)
 }
 
@@ -505,6 +526,7 @@ pub fn launch_bytecode(
     if let Some(pp) = prof {
         emit_phase_prof(&pp);
     }
+    record_launch_metrics(&total);
     Ok(total)
 }
 

@@ -38,6 +38,59 @@ pub fn supported() -> bool {
     cfg!(all(target_arch = "x86_64", target_os = "linux"))
 }
 
+/// Why a deopt stub exists (and, when it fires, why execution left
+/// native code). Every trapping instruction's guard is labeled with one
+/// of these at compile time; fired deopts are counted per reason in the
+/// `jit.deopt.*` metrics and surfaced per kernel in `figures -- tiers`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeoptReason {
+    /// A `Load` bounds check failed.
+    OobLoad,
+    /// A `Store` bounds check failed.
+    OobStore,
+    /// Integer division by zero (or `MIN / -1` overflow).
+    DivZero,
+    /// Integer remainder by zero (or `MIN % -1` overflow).
+    RemZero,
+    /// `Neg`/`Abs` of `i64::MIN` under overflow checks.
+    MinNeg,
+}
+
+impl DeoptReason {
+    /// Every reason, in stable display order.
+    pub const ALL: [DeoptReason; 5] = [
+        DeoptReason::OobLoad,
+        DeoptReason::OobStore,
+        DeoptReason::DivZero,
+        DeoptReason::RemZero,
+        DeoptReason::MinNeg,
+    ];
+
+    /// Stable snake_case label (metric suffix and snapshot key).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DeoptReason::OobLoad => "oob_load",
+            DeoptReason::OobStore => "oob_store",
+            DeoptReason::DivZero => "div_zero",
+            DeoptReason::RemZero => "rem_zero",
+            DeoptReason::MinNeg => "min_neg",
+        }
+    }
+
+    /// Index into [`DeoptReason::ALL`]-shaped arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            DeoptReason::OobLoad => 0,
+            DeoptReason::OobStore => 1,
+            DeoptReason::DivZero => 2,
+            DeoptReason::RemZero => 3,
+            DeoptReason::MinNeg => 4,
+        }
+    }
+}
+
 #[cfg(not(all(target_arch = "x86_64", target_os = "linux")))]
 mod stub {
     use crate::bytecode::BcProgram;
@@ -76,6 +129,11 @@ mod stub {
 
         /// Number of deopt stubs (unreachable).
         pub fn n_deopts(&self) -> usize {
+            match self.never {}
+        }
+
+        /// Deopt-stub counts per [`super::DeoptReason`] (unreachable).
+        pub fn deopt_reasons(&self) -> [usize; 5] {
             match self.never {}
         }
 

@@ -185,6 +185,35 @@ pub(super) enum Deopt {
     NegAbs { op: UnOp },
 }
 
+impl Deopt {
+    /// The public label for this stub (metric suffix, tiers snapshot).
+    fn reason(self) -> super::DeoptReason {
+        match self {
+            Deopt::LoadOob { .. } => super::DeoptReason::OobLoad,
+            Deopt::StoreOob { .. } => super::DeoptReason::OobStore,
+            Deopt::DivRem { op: BinOp::Div } => super::DeoptReason::DivZero,
+            Deopt::DivRem { .. } => super::DeoptReason::RemZero,
+            Deopt::NegAbs { .. } => super::DeoptReason::MinNeg,
+        }
+    }
+}
+
+/// Always-on JIT metrics: total fired deopts plus a per-reason
+/// breakdown. Registered once, cached for the (cold) deopt path.
+struct JitMetrics {
+    deopts_fired: std::sync::Arc<telemetry::metrics::Counter>,
+    by_reason: [std::sync::Arc<telemetry::metrics::Counter>; 5],
+}
+
+fn jit_metrics() -> &'static JitMetrics {
+    static M: std::sync::OnceLock<JitMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| JitMetrics {
+        deopts_fired: telemetry::metrics::counter("jit.deopts_fired"),
+        by_reason: super::DeoptReason::ALL
+            .map(|r| telemetry::metrics::counter(&format!("jit.deopt.{}", r.name()))),
+    })
+}
+
 // -- float/cast helpers (called from generated code) ------------------------
 
 // No `#[no_mangle]` needed: the emitter embeds the function addresses as
@@ -388,6 +417,17 @@ impl JitProgram {
         self.deopts.len()
     }
 
+    /// Deopt-stub counts per [`super::DeoptReason`], indexed like
+    /// [`super::DeoptReason::ALL`]. Counts stubs *emitted*, not fired;
+    /// fired deopts are on the `jit.deopt.*` metrics.
+    pub fn deopt_reasons(&self) -> [usize; 5] {
+        let mut out = [0usize; 5];
+        for d in &self.deopts {
+            out[d.reason().index()] += 1;
+        }
+        out
+    }
+
     /// Runs the program against `bufs`, seeding the variable frame like
     /// [`crate::Machine::run_bytecode_with_frame`].
     pub(crate) fn run(
@@ -450,9 +490,15 @@ impl JitProgram {
     /// interpreter's scalar helpers; always produces the interpreter's
     /// error (`Err`) or panic for the operands that fired the guard.
     fn replay(&self, id: usize, a: i64, b: i64, bufs: &[SharedBuf]) -> Result<()> {
+        let m = jit_metrics();
+        m.deopts_fired.inc();
+        m.by_reason[self.deopts[id].reason().index()].inc();
         match self.deopts[id] {
             Deopt::LoadOob { buf } | Deopt::StoreOob { buf } => {
                 let sb = &bufs[buf as usize];
+                // The replay produced an `Err` the caller will propagate —
+                // capture the lead-up before the context unwinds.
+                telemetry::flight::dump("jit-deopt");
                 Err(Error::OutOfBounds { buffer: sb.name().to_string(), index: a, size: sb.len() })
             }
             Deopt::DivRem { op } => {

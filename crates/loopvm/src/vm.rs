@@ -429,6 +429,38 @@ enum JitSlot {
 /// that abandoned programs don't accumulate.
 pub const DEFAULT_BC_CACHE_CAPACITY: usize = 16;
 
+/// Always-on process-wide VM metrics: bytecode-cache traffic summed over
+/// every [`Machine`] (per-machine counts stay on [`Machine::cache_stats`];
+/// the globals are derived from the same [`crate::cache::CacheStats`]
+/// deltas, never counted independently), JIT compile outcomes, and
+/// per-tier run latency histograms.
+struct VmMetrics {
+    bc_cache_hits: std::sync::Arc<telemetry::metrics::Counter>,
+    bc_cache_misses: std::sync::Arc<telemetry::metrics::Counter>,
+    bc_cache_evictions: std::sync::Arc<telemetry::metrics::Counter>,
+    jit_compiles: std::sync::Arc<telemetry::metrics::Counter>,
+    jit_fallbacks: std::sync::Arc<telemetry::metrics::Counter>,
+    jit_compile_us: std::sync::Arc<telemetry::metrics::Histogram>,
+    run_jit_us: std::sync::Arc<telemetry::metrics::Histogram>,
+    run_bytecode_us: std::sync::Arc<telemetry::metrics::Histogram>,
+    run_tree_walk_us: std::sync::Arc<telemetry::metrics::Histogram>,
+}
+
+fn vm_metrics() -> &'static VmMetrics {
+    static M: std::sync::OnceLock<VmMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| VmMetrics {
+        bc_cache_hits: telemetry::metrics::counter("vm.bc_cache.hits"),
+        bc_cache_misses: telemetry::metrics::counter("vm.bc_cache.misses"),
+        bc_cache_evictions: telemetry::metrics::counter("vm.bc_cache.evictions"),
+        jit_compiles: telemetry::metrics::counter("vm.jit.compiles"),
+        jit_fallbacks: telemetry::metrics::counter("vm.jit.fallbacks"),
+        jit_compile_us: telemetry::metrics::histogram("vm.jit.compile_us"),
+        run_jit_us: telemetry::metrics::histogram("vm.run.jit_us"),
+        run_bytecode_us: telemetry::metrics::histogram("vm.run.bytecode_us"),
+        run_tree_walk_us: telemetry::metrics::histogram("vm.run.tree_walk_us"),
+    })
+}
+
 struct ExecCtx<'a> {
     bufs: &'a [SharedBuf],
     bases: &'a [u64],
@@ -567,6 +599,7 @@ impl Machine {
                 // Take (not borrow) the cached program so `run_bytecode`
                 // can borrow `self` mutably, then put it back as MRU.
                 let fp = p.fingerprint();
+                let before = self.bc_cache.stats();
                 let mut entry = match self.bc_cache.take(&fp) {
                     Some(e) => e,
                     None => CachedProgram {
@@ -578,10 +611,19 @@ impl Machine {
                 // profiled runs stay on bytecode even in Jit mode.
                 let want_jit = self.mode == ExecMode::Jit && !telemetry::profile_enabled();
                 if want_jit && matches!(entry.jit, JitSlot::NotTried) {
+                    let m = vm_metrics();
+                    let t0 = std::time::Instant::now();
                     entry.jit = match crate::jit::compile(&entry.bc) {
-                        Some(j) => JitSlot::Ready(std::sync::Arc::new(j)),
-                        None => JitSlot::Unsupported,
+                        Some(j) => {
+                            m.jit_compiles.inc();
+                            JitSlot::Ready(std::sync::Arc::new(j))
+                        }
+                        None => {
+                            m.jit_fallbacks.inc();
+                            JitSlot::Unsupported
+                        }
                     };
+                    m.jit_compile_us.record_duration(t0.elapsed());
                 }
                 let r = match (&entry.jit, want_jit) {
                     (JitSlot::Ready(j), true) => {
@@ -591,10 +633,20 @@ impl Machine {
                     _ => self.run_bytecode(&entry.bc),
                 };
                 self.bc_cache.insert(fp, entry);
+                let after = self.bc_cache.stats();
+                let m = vm_metrics();
+                m.bc_cache_hits.add(after.hits - before.hits);
+                m.bc_cache_misses.add(after.misses - before.misses);
+                m.bc_cache_evictions.add(after.evictions - before.evictions);
                 self.mirror_cache_counters();
                 r
             }
-            ExecMode::TreeWalk => self.run_inner::<false>(p).map(|_| ()),
+            ExecMode::TreeWalk => {
+                let t0 = std::time::Instant::now();
+                let r = self.run_inner::<false>(p).map(|_| ());
+                vm_metrics().run_tree_walk_us.record_duration(t0.elapsed());
+                r
+            }
         }
     }
 
@@ -609,7 +661,10 @@ impl Machine {
     /// Out-of-bounds accesses at runtime, identical to the interpreter's.
     pub fn run_jit(&mut self, j: &crate::jit::JitProgram) -> Result<()> {
         let _sp = telemetry::span("vm", "run_jit");
-        j.run(&self.bufs, self.threads, &[])
+        let t0 = std::time::Instant::now();
+        let r = j.run(&self.bufs, self.threads, &[]);
+        vm_metrics().run_jit_us.record_duration(t0.elapsed());
+        r
     }
 
     /// Samples the bytecode cache's cumulative hit/miss/eviction counters
@@ -647,6 +702,7 @@ impl Machine {
     /// Out-of-bounds accesses at runtime.
     pub fn run_bytecode(&mut self, bc: &BcProgram) -> Result<()> {
         let _sp = telemetry::span("vm", "run_bytecode");
+        let t0 = std::time::Instant::now();
         let mut ctx = BcCtx {
             bufs: &self.bufs,
             threads: self.threads,
@@ -661,6 +717,7 @@ impl Machine {
         };
         let r = bc_run_insts(&bc.prologue, &mut ctx)
             .and_then(|()| bc_exec_block(&bc.body, &mut ctx));
+        vm_metrics().run_bytecode_us.record_duration(t0.elapsed());
         if let Some(p) = ctx.prof.take() {
             p.emit(&bc.var_names);
         }
@@ -685,6 +742,7 @@ impl Machine {
         seed: &[(crate::expr::Var, i64)],
     ) -> Result<()> {
         let _sp = telemetry::span("vm", "run_bytecode");
+        let t0 = std::time::Instant::now();
         let mut frame = vec![0i64; bc.n_vars];
         for (v, val) in seed {
             frame[v.index()] = *val;
@@ -703,6 +761,7 @@ impl Machine {
         };
         let r = bc_run_insts(&bc.prologue, &mut ctx)
             .and_then(|()| bc_exec_block(&bc.body, &mut ctx));
+        vm_metrics().run_bytecode_us.record_duration(t0.elapsed());
         if let Some(p) = ctx.prof.take() {
             p.emit(&bc.var_names);
         }

@@ -621,11 +621,53 @@ pub fn run_with_opts(
             Err(e) => failures.push(RankFailure { rank, error: e }),
         }
     }
+    let m = dist_metrics();
+    m.retries.add(stats.total_retries());
+    m.drops.add(stats.total_drops());
     if let Some(e) = DistError::from_failures(failures) {
+        if let Some(reason) = dump_reason(&e) {
+            // The flight recorder captures each rank thread's final
+            // events (compute/send/recv/barrier lead-up) before they are
+            // lost to the caller's error handling.
+            telemetry::flight::dump(reason);
+        }
         return Err(e);
     }
     stats.modeled_cycles = modeled;
     Ok(stats)
+}
+
+/// Always-on cluster metrics; per-run numbers stay on [`DistStats`].
+struct DistMetrics {
+    retries: std::sync::Arc<telemetry::metrics::Counter>,
+    drops: std::sync::Arc<telemetry::metrics::Counter>,
+    barrier_wait_us: std::sync::Arc<telemetry::metrics::Histogram>,
+}
+
+fn dist_metrics() -> &'static DistMetrics {
+    static M: std::sync::OnceLock<DistMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| DistMetrics {
+        retries: telemetry::metrics::counter("dist.retries"),
+        drops: telemetry::metrics::counter("dist.drops"),
+        barrier_wait_us: telemetry::metrics::histogram("dist.barrier_wait_us"),
+    })
+}
+
+/// Which failures deserve a flight-recorder dump: watchdog deadlocks and
+/// genuine rank panics (directly or as a cluster report's root cause).
+/// Injected crashes, VM errors, and validation failures are expected
+/// test/caller outcomes, not anomalies worth an artifact.
+fn dump_reason(e: &DistError) -> Option<&'static str> {
+    match e {
+        DistError::Deadlock { .. } => Some("deadlock"),
+        DistError::Panic { .. } => Some("rank-panic"),
+        DistError::Cluster(report) => match report.root_cause().map(|f| &f.error) {
+            Some(DistError::Deadlock { .. }) => Some("deadlock"),
+            Some(DistError::Panic { .. }) => Some("rank-panic"),
+            _ => None,
+        },
+        _ => None,
+    }
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -721,8 +763,10 @@ fn run_rank(
     finish: &(impl Fn(usize, &Machine) + Sync),
 ) -> Result<RankOutcome, DistError> {
     // Read enablement once per rank: statement arms are hot, and the
-    // guard keeps the off path to a single bool test per statement.
-    let prof = telemetry::profile_enabled();
+    // guard keeps the off path to a single bool test per statement. The
+    // flight recorder counts as enabled — its rings need the per-rank
+    // spans so failure dumps show each rank's lead-up.
+    let prof = telemetry::profile_enabled() || telemetry::flight::enabled();
     if prof {
         telemetry::set_thread_name(format!("rank {rank}"));
     }
@@ -821,7 +865,10 @@ fn run_rank(
             }
             DistStmt::Barrier => {
                 let _sp = prof.then(|| telemetry::span("dist", "barrier"));
-                match barrier.wait(opts.watchdog) {
+                let t0 = Instant::now();
+                let wait = barrier.wait(opts.watchdog);
+                dist_metrics().barrier_wait_us.record_duration(t0.elapsed());
+                match wait {
                     BarrierWait::Released => {}
                     BarrierWait::Poisoned => {
                         return Err(DistError::Cancelled { rank });

@@ -18,12 +18,28 @@
 //! # Overhead guarantee
 //!
 //! When profiling is off (no `TIRAMISU_PROFILE`, no
-//! [`set_profiling`] override), every entry point returns after one
-//! relaxed check and **materializes nothing** — no event, no allocation,
-//! no clock read. The global [`records_materialized`] counter moves only
-//! when an event is actually stored, so tests can assert the off path
+//! [`set_profiling`] override), no timeline event is materialized: the
+//! global [`records_materialized`] counter moves only when an event is
+//! actually stored in the timeline, so tests can assert the off path
 //! stayed silent, exactly like the compile pipeline's
-//! `snapshot_renders()` guarantee.
+//! `snapshot_renders()` guarantee. When the always-on [`flight`]
+//! recorder is also disabled, every entry point returns after two
+//! relaxed checks — no event, no allocation, no clock read. With the
+//! flight recorder on (the default), events are additionally copied
+//! into a bounded per-thread ring; that never touches
+//! [`records_materialized`] and its cost on the fig1 sgemm hot path is
+//! measured at <2% (EXPERIMENTS.md).
+//!
+//! # Always-on observability
+//!
+//! Two subsystems stay live regardless of `TIRAMISU_PROFILE`:
+//!
+//! - [`metrics`] — a process-wide registry of counters/gauges/
+//!   log2-bucketed histograms (hit rates, queue waits, per-tier run
+//!   latencies, deopt reasons), lock-free on the hot path;
+//! - [`flight`] — the flight recorder: fixed-size per-thread rings of
+//!   recent events, dumped (Chrome trace + metrics snapshot) to
+//!   `TIRAMISU_DUMP_DIR` by failure sites via [`flight::dump`].
 //!
 //! # Event model
 //!
@@ -41,8 +57,11 @@
 //! loadable in Perfetto / `chrome://tracing`) or as a human-readable
 //! aggregate table ([`Timeline::report`]).
 
+pub mod flight;
+pub mod metrics;
+
 use std::borrow::Cow;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicI8, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -109,6 +128,26 @@ pub fn records_materialized() -> u64 {
 }
 
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Lazily assigned session-unique thread id, shared by the timeline
+    /// buffer and the flight-recorder ring so one thread is one `tid` in
+    /// every export.
+    static TID: Cell<u64> = const { Cell::new(0) };
+}
+
+fn thread_tid() -> u64 {
+    TID.with(|t| {
+        let v = t.get();
+        if v != 0 {
+            return v;
+        }
+        let v = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        t.set(v);
+        v
+    })
+}
+
 static RETIRED: Mutex<Vec<Event>> = Mutex::new(Vec::new());
 
 fn retired() -> std::sync::MutexGuard<'static, Vec<Event>> {
@@ -130,7 +169,7 @@ impl Drop for LocalBuf {
 
 thread_local! {
     static LOCAL: RefCell<LocalBuf> = RefCell::new(LocalBuf {
-        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        tid: thread_tid(),
         events: Vec::new(),
     });
 }
@@ -154,6 +193,20 @@ fn push(cat: &'static str, name: Cow<'static, str>, ts_us: u64, kind: EventKind)
         let tid = l.tid;
         l.events.push(Event { cat, name, ts_us, tid, kind });
     });
+}
+
+/// Routes one event to its sinks: the timeline when profiling is on
+/// (moving [`records_materialized`]), the flight-recorder ring when the
+/// recorder is on (never moving it).
+fn emit(cat: &'static str, name: Cow<'static, str>, ts_us: u64, kind: EventKind, profile: bool, fl: bool) {
+    if profile {
+        if fl {
+            flight::record(Event { cat, name: name.clone(), ts_us, tid: thread_tid(), kind });
+        }
+        push(cat, name, ts_us, kind);
+    } else if fl {
+        flight::record(Event { cat, name, ts_us, tid: thread_tid(), kind });
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -200,66 +253,82 @@ pub struct Event {
 // ---------------------------------------------------------------------------
 
 /// An RAII span guard: records a [`EventKind::Span`] from construction
-/// ([`span`]) to drop. When profiling is off the guard is inert and
-/// records nothing.
+/// ([`span`]) to drop. The span goes to the timeline when profiling is
+/// on, and to the flight-recorder ring when the recorder is on; with
+/// both off the guard is inert and records nothing.
 #[must_use = "a span measures until dropped; binding it to `_` drops it immediately"]
 pub struct Span {
     open: Option<(u64, &'static str, Cow<'static, str>)>,
+    profile: bool,
+    flight: bool,
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some((start, cat, name)) = self.open.take() {
             let dur = now_us().saturating_sub(start);
-            push(cat, name, start, EventKind::Span { dur_us: dur });
+            emit(cat, name, start, EventKind::Span { dur_us: dur }, self.profile, self.flight);
         }
     }
 }
 
 /// Opens a span on the current thread; the span closes (and is recorded)
-/// when the returned guard drops. No-op when profiling is off.
+/// when the returned guard drops. Inert when both profiling and the
+/// flight recorder are off.
 pub fn span(cat: &'static str, name: impl Into<Cow<'static, str>>) -> Span {
-    if !profile_enabled() {
-        return Span { open: None };
+    let profile = profile_enabled();
+    let fl = flight::enabled();
+    if !profile && !fl {
+        return Span { open: None, profile, flight: fl };
     }
-    Span { open: Some((now_us(), cat, name.into())) }
+    Span { open: Some((now_us(), cat, name.into())), profile, flight: fl }
 }
 
 /// Records a span that ends now and lasted `wall` — for call sites that
 /// already measured a duration (e.g. the compile pipeline's per-pass
-/// timing). No-op when profiling is off.
+/// timing). Inert when both profiling and the flight recorder are off.
 pub fn span_with_wall(cat: &'static str, name: impl Into<Cow<'static, str>>, wall: Duration) {
-    if !profile_enabled() {
+    let profile = profile_enabled();
+    let fl = flight::enabled();
+    if !profile && !fl {
         return;
     }
     let dur = wall.as_micros() as u64;
     let start = now_us().saturating_sub(dur);
-    push(cat, name.into(), start, EventKind::Span { dur_us: dur });
+    emit(cat, name.into(), start, EventKind::Span { dur_us: dur }, profile, fl);
 }
 
-/// Records a counter sample. No-op when profiling is off.
+/// Records a counter sample. Inert when both profiling and the flight
+/// recorder are off.
 pub fn counter(cat: &'static str, name: impl Into<Cow<'static, str>>, value: f64) {
-    if !profile_enabled() {
+    let profile = profile_enabled();
+    let fl = flight::enabled();
+    if !profile && !fl {
         return;
     }
-    push(cat, name.into(), now_us(), EventKind::Counter { value });
+    emit(cat, name.into(), now_us(), EventKind::Counter { value }, profile, fl);
 }
 
-/// Records an instant (point) event. No-op when profiling is off.
+/// Records an instant (point) event. Inert when both profiling and the
+/// flight recorder are off.
 pub fn instant(cat: &'static str, name: impl Into<Cow<'static, str>>) {
-    if !profile_enabled() {
+    let profile = profile_enabled();
+    let fl = flight::enabled();
+    if !profile && !fl {
         return;
     }
-    push(cat, name.into(), now_us(), EventKind::Instant);
+    emit(cat, name.into(), now_us(), EventKind::Instant, profile, fl);
 }
 
 /// Labels the current thread in the exported timeline (e.g. `"rank 3"`).
-/// No-op when profiling is off.
+/// Inert when both profiling and the flight recorder are off.
 pub fn set_thread_name(name: impl Into<Cow<'static, str>>) {
-    if !profile_enabled() {
+    let profile = profile_enabled();
+    let fl = flight::enabled();
+    if !profile && !fl {
         return;
     }
-    push("meta", name.into(), now_us(), EventKind::ThreadName);
+    emit("meta", name.into(), now_us(), EventKind::ThreadName, profile, fl);
 }
 
 /// Collects every event recorded so far — the retirement list plus the
@@ -305,6 +374,17 @@ impl Timeline {
     /// timestamp order.
     #[must_use]
     pub fn to_chrome_json(&self) -> String {
+        format!(
+            "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}\n",
+            self.chrome_trace_events()
+        )
+    }
+
+    /// The comma-joined body of the `traceEvents` array, without the
+    /// wrapping object — shared by [`Timeline::to_chrome_json`] and the
+    /// flight recorder's dump format (which adds its own top-level keys).
+    #[must_use]
+    pub fn chrome_trace_events(&self) -> String {
         let mut parts: Vec<String> = Vec::with_capacity(self.events.len());
         for e in self.events.iter().filter(|e| e.kind == EventKind::ThreadName) {
             parts.push(format!(
@@ -337,7 +417,7 @@ impl Timeline {
                 EventKind::ThreadName => {}
             }
         }
-        format!("{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}\n", parts.join(",\n"))
+        parts.join(",\n")
     }
 
     /// Writes [`Timeline::to_chrome_json`] to `path`.
@@ -350,12 +430,14 @@ impl Timeline {
     }
 
     /// Renders a human-readable aggregate table: spans grouped by
-    /// (category, name) with counts and total/mean duration, counters
-    /// with sample count, last value and sum, instants with counts.
+    /// (category, name) with count/total/mean/max duration columns
+    /// sorted by total time (so a 256-case differential run collapses to
+    /// one row per span name instead of a flat listing), counters with
+    /// sample count, last value and sum, instants with counts.
     #[must_use]
     pub fn report(&self) -> String {
         use std::collections::BTreeMap;
-        let mut spans: BTreeMap<(&str, &str), (u64, u64)> = BTreeMap::new();
+        let mut spans: BTreeMap<(&str, &str), (u64, u64, u64)> = BTreeMap::new();
         let mut counters: BTreeMap<(&str, &str), (u64, f64, f64)> = BTreeMap::new();
         let mut instants: BTreeMap<(&str, &str), u64> = BTreeMap::new();
         for e in &self.events {
@@ -365,6 +447,7 @@ impl Timeline {
                     let s = spans.entry(key).or_default();
                     s.0 += 1;
                     s.1 += dur_us;
+                    s.2 = s.2.max(dur_us);
                 }
                 EventKind::Counter { value } => {
                     let c = counters.entry(key).or_default();
@@ -378,11 +461,11 @@ impl Timeline {
         }
         let mut out = String::new();
         if !spans.is_empty() {
-            let _ = writeln!(out, "{:<10} {:<32} {:>8} {:>12} {:>10}", "cat", "span", "count", "total(us)", "mean(us)");
+            let _ = writeln!(out, "{:<10} {:<32} {:>8} {:>12} {:>10} {:>10}", "cat", "span", "count", "total(us)", "mean(us)", "max(us)");
             let mut rows: Vec<_> = spans.into_iter().collect();
             rows.sort_by_key(|r| std::cmp::Reverse(r.1 .1));
-            for ((cat, name), (n, total)) in rows {
-                let _ = writeln!(out, "{:<10} {:<32} {:>8} {:>12} {:>10}", cat, name, n, total, total / n.max(1));
+            for ((cat, name), (n, total, max)) in rows {
+                let _ = writeln!(out, "{:<10} {:<32} {:>8} {:>12} {:>10} {:>10}", cat, name, n, total, total / n.max(1), max);
             }
         }
         if !counters.is_empty() {
@@ -432,7 +515,7 @@ pub fn export_if_enabled(default_path: &str) -> Option<std::path::PathBuf> {
 
 /// JSON string literal with escaping (the workspace hand-rolls JSON; the
 /// vendored serde is a stub).
-fn jstr(s: &str) -> String {
+pub(crate) fn jstr(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -528,6 +611,42 @@ mod tests {
         assert!(tl.report().contains("outer"));
         set_profiling(None);
         let _ = drain();
+    }
+
+    #[test]
+    fn flight_records_without_materializing() {
+        let _g = locked();
+        set_profiling(Some(false));
+        flight::set_flight(Some(true));
+        let before = records_materialized();
+        let (_, t0) = flight::current_thread_ring_stats();
+        {
+            let _s = span("t", "flight-only");
+        }
+        instant("t", "i");
+        let (_, t1) = flight::current_thread_ring_stats();
+        assert_eq!(records_materialized(), before, "flight writes must not materialize");
+        assert!(t1 >= t0 + 2, "ring should have recorded the span and instant");
+        flight::set_flight(None);
+        set_profiling(None);
+    }
+
+    #[test]
+    fn report_aggregates_spans_with_max_column() {
+        let mut tl = Timeline::default();
+        for dur in [5u64, 9, 1] {
+            tl.events.push(Event {
+                cat: "t",
+                name: "agg".into(),
+                ts_us: 0,
+                tid: 1,
+                kind: EventKind::Span { dur_us: dur },
+            });
+        }
+        let rep = tl.report();
+        let row = rep.lines().find(|l| l.contains("agg")).expect("aggregated row");
+        let cols: Vec<&str> = row.split_whitespace().collect();
+        assert_eq!(cols, ["t", "agg", "3", "15", "5", "9"], "count/total/mean/max");
     }
 
     #[test]
